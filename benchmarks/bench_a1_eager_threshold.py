@@ -1,0 +1,6 @@
+"""A1 (ablation) — the deadlock boundary follows the configured eager
+threshold, confirming the E7 result is protocol behaviour."""
+
+
+def test_a1_eager_threshold_ablation(run_artifact):
+    run_artifact("A1")

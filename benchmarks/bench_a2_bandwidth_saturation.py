@@ -1,0 +1,7 @@
+"""A2 (ablation) — the per-core bandwidth cap sets the memory-bound
+speedup plateau; without it, Figure 1a's rise-then-flatten shape cannot
+be produced."""
+
+
+def test_a2_bandwidth_saturation_ablation(run_artifact):
+    run_artifact("A2")

@@ -1,0 +1,6 @@
+"""A3 (ablation) — collective cost algorithms: tree broadcast grows
+~log p while linear-from-root scatter grows ~p."""
+
+
+def test_a3_collective_cost_ablation(run_artifact):
+    run_artifact("A3")

@@ -1,0 +1,7 @@
+"""E10 (extension) — the paper's future-work 'student choice' module:
+distributed top-k with gather vs threshold pruning, showing the
+data-dependent communication volume."""
+
+
+def test_e10_topk_pruning(run_artifact):
+    run_artifact("E10")

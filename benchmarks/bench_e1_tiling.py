@@ -1,0 +1,7 @@
+"""E1 — Module 2's claim: the tiled distance matrix beats the row-wise
+traversal via cache locality (simulated misses + analytic model +
+virtual time), with the small-vs-large tile trade-off."""
+
+
+def test_e1_tiling_beats_rowwise(run_artifact):
+    run_artifact("E1")

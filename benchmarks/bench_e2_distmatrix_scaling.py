@@ -1,0 +1,7 @@
+"""E2 — Module 2's claim: the (tiled) distance matrix is compute-bound
+and achieves high parallel efficiency; the row-wise variant saturates
+memory bandwidth."""
+
+
+def test_e2_distance_matrix_scaling(run_artifact):
+    run_artifact("E2")

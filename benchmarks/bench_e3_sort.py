@@ -1,0 +1,7 @@
+"""E3 — Module 3's claims: uniform data balances, exponential data
+skews the buckets, histogram splitters restore balance, and the
+memory-bound sort scales worse than Module 2."""
+
+
+def test_e3_distribution_sort(run_artifact):
+    run_artifact("E3")

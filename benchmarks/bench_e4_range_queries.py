@@ -1,0 +1,7 @@
+"""E4 — Module 4's claims: the R-tree is much faster than brute force
+in absolute terms, but the brute-force scan has the better speedup
+curve (compute-bound vs memory-bound)."""
+
+
+def test_e4_brute_vs_rtree(run_artifact):
+    run_artifact("E4")

@@ -1,0 +1,7 @@
+"""E5 — Module 4 activity 3: at a fixed rank count, spreading over two
+nodes beats packing one node (aggregate memory bandwidth); the
+compute-bound baseline is indifferent."""
+
+
+def test_e5_node_allocation(run_artifact):
+    run_artifact("E5")

@@ -1,0 +1,7 @@
+"""E6 — Module 5's claims: low k is communication-dominated (and
+multi-node runs don't pay off), high k is compute-dominated, and the
+weighted-means option moves far less data than explicit assignments."""
+
+
+def test_e6_kmeans_k_sweep(run_artifact):
+    run_artifact("E6")

@@ -1,0 +1,7 @@
+"""E7 — Module 1's claims: the blocking-send ring completes at eager
+sizes and deadlocks at rendezvous sizes; the two random-communication
+solutions deliver identical results."""
+
+
+def test_e7_communication_patterns(run_artifact):
+    run_artifact("E7")

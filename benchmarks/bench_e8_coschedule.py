@@ -1,0 +1,6 @@
+"""E8 — the 'terrible twins' substrate behind Figure 1: two co-located
+memory-bound jobs degrade each other severely; mixed pairings do not."""
+
+
+def test_e8_coscheduling_interference(run_artifact):
+    run_artifact("E8")

@@ -1,0 +1,7 @@
+"""E9 (extension) — the paper's future-work latency-hiding module:
+overlapped halo exchange beats blocking exchange, via message
+concurrency for small interiors and full hiding for large ones."""
+
+
+def test_e9_latency_hiding(run_artifact):
+    run_artifact("E9")

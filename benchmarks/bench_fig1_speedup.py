@@ -1,0 +1,8 @@
+"""F1 — regenerate Figure 1's two speedup curves (memory-bound plateau
+vs compute-bound climb) on the simulated 32-core node, and have the
+co-scheduling advisor answer the quiz question: Program 2 / Node 2."""
+
+
+def test_figure1_speedup_and_answer(run_artifact):
+    report = run_artifact("F1")
+    assert "Program 2 / Compute Node 2" in report.text

@@ -1,0 +1,7 @@
+"""F2 — render Figure 2 (per-student pre/post bars for quizzes 1-5)
+from the reconstructed cohort dataset."""
+
+
+def test_figure2_quiz_scores(run_artifact):
+    report = run_artifact("F2")
+    assert "Quiz 5" in report.text

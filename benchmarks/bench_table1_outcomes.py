@@ -1,0 +1,7 @@
+"""T1 — regenerate Table I (learning outcomes x modules, Bloom levels)
+and cross-check it against the module metadata."""
+
+
+def test_table1_learning_outcomes(run_artifact):
+    report = run_artifact("T1")
+    assert "Table I" in report.text

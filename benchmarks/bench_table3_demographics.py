@@ -1,0 +1,7 @@
+"""T3 — regenerate Table III (cohort demographics): 10 students, only
+30% with a traditional computer-science background."""
+
+
+def test_table3_demographics(run_artifact):
+    report = run_artifact("T3")
+    assert "Informatics" in report.text

@@ -1,0 +1,9 @@
+"""T4 — reconstruct the cohort's quiz scores from the published
+aggregates and recompute every Table IV statistic (42 pairs, 17/19/6,
+mean relative change, per-quiz means) side by side with the paper."""
+
+
+def test_table4_quiz_statistics(run_artifact):
+    report = run_artifact("T4")
+    stats = report.data["stats"]
+    assert stats.total_pairs == 42

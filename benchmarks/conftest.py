@@ -1,0 +1,43 @@
+"""Shared machinery for the per-artifact benchmarks.
+
+Every benchmark runs one registered experiment exactly once under
+pytest-benchmark (the workloads are deterministic — virtual time does
+not jitter — so repeated rounds would only re-measure the simulator's
+real-time cost), prints the regenerated table/figure, asserts the
+paper's qualitative claims, and appends the report to
+``benchmark_reports.txt`` next to this file.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness import run_experiment
+
+_REPORT_PATH = pathlib.Path(__file__).parent / "benchmark_reports.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_report_file():
+    _REPORT_PATH.write_text("")
+    yield
+
+
+@pytest.fixture
+def run_artifact(benchmark):
+    """Run an experiment under the benchmark fixture and record it."""
+
+    def _run(experiment_id: str):
+        report = benchmark.pedantic(
+            run_experiment, args=(experiment_id,), rounds=1, iterations=1
+        )
+        block = f"\n{'=' * 72}\n{report.summary_line()}\n{'=' * 72}\n{report.text}\n"
+        print(block)
+        with _REPORT_PATH.open("a") as fh:
+            fh.write(block)
+        assert report.passed, report.summary_line()
+        return report
+
+    return _run

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Walk the five pedagogic modules in sequence, as a student would.
+
+Run with::
+
+    python examples/course_walkthrough.py
+
+Each module prints the activity it runs and the performance lesson the
+paper expects students to take away, demonstrated live on the simulated
+cluster.
+"""
+
+from repro import smpi
+from repro.cluster import ClusterSpec, Placement
+from repro.modules import module1, module2, module3, module4, module5
+from repro.modules.module3_sort import sort_activity, verify_globally_sorted
+from repro.modules.module4_range import range_query_activity
+from repro.modules.module5_kmeans import kmeans_distributed
+
+SPEC = ClusterSpec.monsoon_like(num_nodes=2)
+
+
+def launch(p, fn, *args, nodes=1, **kwargs):
+    return smpi.launch(
+        p, fn, *args, cluster=SPEC,
+        placement=Placement.spread(SPEC, p, nodes=nodes), **kwargs
+    )
+
+
+def run_module1():
+    print("=" * 70)
+    print("Module 1: MPI Communication")
+    sweep = module1.ping_pong_sweep(2, sizes=(8, 512, 32768, 262144))
+    print("  ping-pong latency/bandwidth curve:")
+    for r in sweep:
+        print(
+            f"    {r.nbytes:>8} B: one-way {r.one_way_time * 1e6:8.2f} µs, "
+            f"{r.bandwidth / 1e9:6.2f} GB/s"
+        )
+    report = module1.demonstrate_ring_deadlock(8, payload_nbytes=1_000_000)
+    print(f"  blocking ring with 1 MB messages deadlocked: {report.deadlocked}")
+    report = module1.demonstrate_ring_deadlock(8, payload_nbytes=64)
+    print(f"  the same ring with 64 B messages deadlocked: {report.deadlocked}")
+    print("  lesson: correctness that depends on message size is a bug.")
+
+
+def run_module2():
+    print("=" * 70)
+    print("Module 2: Distance Matrix (90-dimensional data)")
+    for tile in (None, 128):
+        out = launch(16, module2.distributed_distance_matrix, n=2048, dims=90, tile=tile)
+        label = "row-wise" if tile is None else f"tiled({tile})"
+        print(f"  {label:>12}: virtual time {out.elapsed * 1e3:8.3f} ms")
+    misses_row = module2.measure_cache_misses(128, 128, 90, tile=None, cache_bytes=32 * 1024)
+    misses_tiled = module2.measure_cache_misses(128, 128, 90, tile=16, cache_bytes=32 * 1024)
+    print(
+        f"  cache simulator: row-wise miss rate {misses_row.miss_rate:.3f}, "
+        f"tiled {misses_tiled.miss_rate:.3f}"
+    )
+    print("  lesson: locality (tiling) turns a memory-bound kernel compute-bound.")
+    print("\n  every module kernel on one roofline (single-rank bandwidth share):")
+    from repro.harness.kernels import module_kernel_roofline
+
+    for line in module_kernel_roofline(width=58, height=12).splitlines():
+        print("   " + line)
+
+
+def run_module3():
+    print("=" * 70)
+    print("Module 3: Distribution Sort")
+    for dist, method in (
+        ("uniform", "equal"),
+        ("exponential", "equal"),
+        ("exponential", "histogram"),
+    ):
+        out = launch(
+            8, sort_activity, n_per_rank=30_000, distribution=dist, method=method, seed=1
+        )
+        res = out.results[0]
+        print(
+            f"  {dist:>12}/{method:<9}: imbalance {res.imbalance:5.2f}, "
+            f"virtual time {out.elapsed * 1e3:8.3f} ms"
+        )
+    ok = smpi.run(8, _sorted_check)
+    print(f"  global sortedness verified on all ranks: {all(ok)}")
+    print("  lesson: data distributions change load balance; histograms fix it.")
+
+
+def _sorted_check(comm):
+    res = sort_activity(comm, n_per_rank=5_000, distribution="exponential",
+                        method="histogram", seed=1)
+    return verify_globally_sorted(comm, res.local_sorted)
+
+
+def run_module4():
+    print("=" * 70)
+    print("Module 4: Range Queries (asteroid catalog)")
+    for alg in ("brute", "rtree"):
+        t1 = launch(1, range_query_activity, n=50_000, q=4096, algorithm=alg).elapsed
+        t16 = launch(16, range_query_activity, n=50_000, q=4096, algorithm=alg).elapsed
+        print(
+            f"  {alg:>6}: t(1) {t1 * 1e3:8.3f} ms, t(16) {t16 * 1e3:8.3f} ms, "
+            f"speedup {t1 / t16:5.2f}"
+        )
+    one = launch(16, range_query_activity, n=50_000, q=4096, algorithm="rtree",
+                 nodes=1).elapsed
+    two = launch(16, range_query_activity, n=50_000, q=4096, algorithm="rtree",
+                 nodes=2).elapsed
+    print(f"  R-tree, 16 ranks: 1 node {one * 1e3:.3f} ms vs 2 nodes {two * 1e3:.3f} ms")
+    print("  lesson: the efficient algorithm is memory-bound — it scales worse")
+    print("  but wins absolutely, and extra nodes buy it bandwidth.")
+
+
+def run_module5():
+    print("=" * 70)
+    print("Module 5: k-means Clustering")
+    for k in (2, 8, 32, 128):
+        out = launch(
+            16, kmeans_distributed, n=16_000, k=k, method="weighted", seed=3,
+            max_iter=6, tol=-1.0, nodes=2,
+        )
+        r = out.results[0]
+        print(
+            f"  k={k:>3}: compute {r.compute_time * 1e6:9.2f} µs, "
+            f"comm {r.comm_time * 1e6:9.2f} µs "
+            f"({r.comm_fraction * 100:5.1f}% communication)"
+        )
+    from repro.smpi.timeline import render_timeline
+
+    out = launch(4, kmeans_distributed, n=40_000, k=64, method="weighted", seed=3,
+                 max_iter=4, tol=-1.0, nodes=2)
+    print("  per-rank timeline of one run (# compute, = collective):")
+    for line in render_timeline(out.tracer, width=56).splitlines():
+        print("   " + line)
+    out_w = launch(8, kmeans_distributed, n=16_000, k=8, method="weighted", seed=3)
+    out_e = launch(8, kmeans_distributed, n=16_000, k=8, method="explicit", seed=3)
+    print(
+        f"  option comparison (k=8): weighted {out_w.elapsed * 1e3:.3f} ms vs "
+        f"explicit {out_e.elapsed * 1e3:.3f} ms — same centroids: "
+        f"{abs(out_w.results[0].inertia - out_e.results[0].inertia) < 1e-6}"
+    )
+    print("  lesson: communication volume is a design choice; k moves the")
+    print("  compute/communication balance.")
+
+
+def main():
+    for runner in (run_module1, run_module2, run_module3, run_module4, run_module5):
+        runner()
+    print("=" * 70)
+    print("Course complete.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's entire evaluation section in one go.
+
+Run with::
+
+    python examples/evaluation_report.py
+
+Prints Section IV end to end — demographics (Table III), the Figure 1
+example question with its derived answer, Table IV recomputed from the
+reconstructed cohort, supplementary Hake gains, Figure 2, and the survey
+themes.
+"""
+
+from repro.edu.report import full_evaluation_report
+
+
+def main():
+    print(full_evaluation_report())
+
+
+if __name__ == "__main__":
+    main()

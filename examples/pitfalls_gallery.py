@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Gallery of classic MPI bugs, each caught and explained by the runtime.
+
+Run with::
+
+    python examples/pitfalls_gallery.py
+
+Every entry is a canonical broken student solution; on a real cluster
+most of them hang until the scheduler kills the job.  Here each one
+fails immediately with a diagnosis — the teaching superpower of a
+simulated runtime.
+"""
+
+from repro.modules.pitfalls import PITFALLS, demonstrate
+
+
+def main():
+    for p in PITFALLS:
+        print("=" * 72)
+        print(f"pitfall: {p.name}")
+        print(f"  the bug:    {p.description}")
+        print(f"  the lesson: {p.lesson}")
+        report = demonstrate(p.name)
+        verdict = "diagnosed" if report.diagnosed else "NOT DIAGNOSED?!"
+        first_line = report.message.splitlines()[0]
+        print(f"  the runtime ({verdict}): {p.expected_error.__name__}: {first_line}")
+    print("=" * 72)
+    print(f"{len(PITFALLS)} pitfalls, all caught.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim for environments without the ``wheel`` package (offline legacy
+editable installs via ``pip install -e . --no-use-pep517``)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — reproduction of *Data-Intensive Computing Modules for Teaching
+Parallel and Distributed Computing* (Gowanlock & Gallet, IPDPSW 2021).
+
+The package provides:
+
+* :mod:`repro.smpi` — a simulated MPI runtime (threads as ranks, virtual
+  clock, Hockney network model, full collective set, deadlock detection);
+* :mod:`repro.cluster` — a cluster machine model with per-node memory
+  bandwidth contention, a roofline cost model and a cache simulator;
+* :mod:`repro.slurm` — a SLURM-like batch scheduler with co-scheduling
+  interference;
+* :mod:`repro.data` — dataset generators used by the pedagogic modules;
+* :mod:`repro.spatial` — R-tree / kd-tree / quadtree spatial indexes;
+* :mod:`repro.modules` — the paper's five pedagogic modules plus the
+  ancillary SLURM and warmup modules;
+* :mod:`repro.outcomes` — Tables I and II as data, verified against the
+  implementations;
+* :mod:`repro.edu` — the pedagogy-evaluation framework (cohort, quizzes,
+  Table IV statistics, the Figure 2 reconstruction, Figure 1 scenario);
+* :mod:`repro.harness` — scaling runners and the experiment registry.
+
+Quickstart::
+
+    from repro import smpi
+
+    def hello(comm):
+        return comm.allreduce(comm.rank, op=smpi.SUM)
+
+    totals = smpi.run(4, hello)
+    assert totals == [6, 6, 6, 6]
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ReproError,
+    SMPIError,
+    DeadlockError,
+    TruncationError,
+    InvalidRankError,
+    InvalidTagError,
+    CommAbortError,
+    SchedulerError,
+    ValidationError,
+    ReconstructionError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "SMPIError",
+    "DeadlockError",
+    "TruncationError",
+    "InvalidRankError",
+    "InvalidTagError",
+    "CommAbortError",
+    "SchedulerError",
+    "ValidationError",
+    "ReconstructionError",
+]

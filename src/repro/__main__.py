@@ -1,0 +1,141 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands::
+
+    python -m repro list                 # all registered experiments
+    python -m repro run T4 F1            # run specific artifacts
+    python -m repro all                  # run everything (the evaluation)
+    python -m repro modules              # the module catalog
+    python -m repro quiz                 # the Figure 1 example question
+
+Exit status is non-zero when any requested experiment's checks fail, so
+the CLI doubles as a smoke-test in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(_args) -> int:
+    from repro.harness import EXPERIMENTS
+
+    width = max(len(e.title) for e in EXPERIMENTS.values())
+    for eid, exp in EXPERIMENTS.items():
+        print(f"{eid:>3}  {exp.title.ljust(width)}  {exp.paper_claim}")
+    return 0
+
+
+def _run_ids(ids, as_json: bool = False) -> int:
+    import json
+
+    from repro.harness import run_experiment
+
+    failed = 0
+    results = []
+    for eid in ids:
+        report = run_experiment(eid)
+        if as_json:
+            results.append(
+                {
+                    "id": report.experiment_id,
+                    "title": report.title,
+                    "passed": bool(report.passed),
+                    # numpy comparisons yield np.bool_, which json rejects
+                    "checks": {k: bool(v) for k, v in report.checks.items()},
+                }
+            )
+        else:
+            print(report.text)
+            print()
+            print(report.summary_line())
+            print()
+        if not report.passed:
+            failed += 1
+    if as_json:
+        print(json.dumps({"experiments": results, "failed": failed}, indent=2))
+    elif failed:
+        print(f"{failed} experiment(s) FAILED", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _cmd_run(args) -> int:
+    return _run_ids(args.ids, as_json=args.json)
+
+
+def _cmd_all(args) -> int:
+    from repro.harness import EXPERIMENTS
+
+    return _run_ids(list(EXPERIMENTS), as_json=args.json)
+
+
+def _cmd_modules(_args) -> int:
+    from repro.modules import MODULES, extension_modules
+
+    for mod in MODULES + extension_modules():
+        print(f"Module {mod.number}: {mod.title}")
+        print(f"  {mod.application_motivation}")
+        for activity in mod.activities:
+            print(f"    {activity.number}. {activity.title} — {activity.summary}")
+        print()
+    return 0
+
+
+def _cmd_quiz(_args) -> int:
+    from repro.edu import example_question_module4, figure1_speedup_curves
+    from repro.edu.figures import render_figure1
+
+    curves = figure1_speedup_curves()
+    print(render_figure1(curves))
+    question = example_question_module4(curves)
+    print()
+    print(question.prompt)
+    for i, option in enumerate(question.options, start=1):
+        print(f"  ({i}) {option}")
+    print()
+    print(f"Answer: ({question.correct_option + 1}) "
+          f"{question.options[question.correct_option]}")
+    print(question.explanation)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of the data-intensive PDC teaching modules "
+        "(Gowanlock & Gallet, IPDPSW 2021).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list the registered experiments").set_defaults(
+        fn=_cmd_list
+    )
+    run_parser = sub.add_parser("run", help="run specific experiments")
+    run_parser.add_argument("ids", nargs="+", metavar="ID", help="e.g. T4 F1 E3")
+    run_parser.add_argument(
+        "--json", action="store_true", help="machine-readable check results"
+    )
+    run_parser.set_defaults(fn=_cmd_run)
+    all_parser = sub.add_parser("all", help="run every experiment")
+    all_parser.add_argument(
+        "--json", action="store_true", help="machine-readable check results"
+    )
+    all_parser.set_defaults(fn=_cmd_all)
+    sub.add_parser("modules", help="print the module catalog").set_defaults(
+        fn=_cmd_modules
+    )
+    sub.add_parser("quiz", help="show the Figure 1 quiz question").set_defaults(
+        fn=_cmd_quiz
+    )
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    import contextlib
+    import signal
+
+    # Die quietly when piped into `head` etc.
+    with contextlib.suppress(AttributeError, ValueError):
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    raise SystemExit(main())

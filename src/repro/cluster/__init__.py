@@ -1,0 +1,38 @@
+"""Cluster machine model: nodes, placement, bandwidth contention, caches.
+
+This package is the hardware substrate under the simulated MPI runtime
+(:mod:`repro.smpi`).  It answers three questions the paper's modules
+reason about:
+
+* how long does a compute phase take? — :mod:`repro.cluster.roofline`
+  (compute-bound vs memory-bound kernels, Module 2 vs Module 3);
+* how is memory bandwidth shared on a node? — :mod:`repro.cluster.contention`
+  (Module 4 activity 3: p ranks on 2 nodes beat p ranks on 1 node;
+  Figure 1's co-scheduling scenario);
+* what does the cache do under different traversal orders? —
+  :mod:`repro.cluster.memory` (Module 2's row-wise vs tiled distance
+  matrix, the ``perf`` cache-miss measurement).
+"""
+
+from repro.cluster.machine import NodeSpec, NetworkSpec, ClusterSpec, Placement
+from repro.cluster.roofline import (
+    ComputeCostModel,
+    operational_intensity,
+    render_roofline,
+)
+from repro.cluster.contention import BandwidthArbiter
+from repro.cluster.memory import CacheSim, CacheStats, analytic_distance_matrix_misses
+
+__all__ = [
+    "NodeSpec",
+    "NetworkSpec",
+    "ClusterSpec",
+    "Placement",
+    "ComputeCostModel",
+    "operational_intensity",
+    "render_roofline",
+    "BandwidthArbiter",
+    "CacheSim",
+    "CacheStats",
+    "analytic_distance_matrix_misses",
+]

@@ -1,0 +1,78 @@
+"""Per-node memory-bandwidth sharing.
+
+On a real cluster node the memory controller is a shared resource: the
+bandwidth a rank observes shrinks as more memory-hungry consumers are
+active on the node.  We model equal sharing among *active demand*:
+
+* every rank of the job placed on the node contributes demand 1 while in
+  a compute phase (the pessimistic assumption students should make for a
+  bulk-synchronous program, where compute phases align);
+* a co-scheduled external job contributes an ``external_demand`` in
+  "rank-equivalents" (the Figure 1 scenario: another user's program on
+  your node).
+
+The model is intentionally simple — the paper's learning outcome is the
+*direction* of the effect (aggregate bandwidth grows with nodes used;
+memory-bound neighbours hurt), not a cycle-accurate controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.machine import ClusterSpec, Placement
+from repro.util.validation import check_nonnegative
+
+
+@dataclass
+class BandwidthArbiter:
+    """Computes each rank's memory-bandwidth share on its node.
+
+    ``external_demand`` maps node index → rank-equivalents of demand from
+    co-scheduled jobs (0 = dedicated node).
+    """
+
+    cluster: ClusterSpec
+    placement: Placement
+    external_demand: dict[int, float] = field(default_factory=dict)
+
+    def set_external_demand(self, node: int, demand: float) -> None:
+        """Set co-scheduled demand on ``node`` (in rank-equivalents)."""
+        check_nonnegative("demand", demand)
+        self.external_demand[node] = demand
+
+    def node_demand(self, node: int) -> float:
+        """Total demand (rank-equivalents) on ``node``."""
+        return self.placement.ranks_on_node(node) + self.external_demand.get(node, 0.0)
+
+    def bandwidth_share(self, rank: int) -> float:
+        """Bandwidth (B/s) available to ``rank`` during a compute phase.
+
+        The equal share of the node bandwidth, capped by what one core
+        can draw (``core_mem_bandwidth``): a lone rank does *not* get the
+        whole memory controller, which is why memory-bound speedup curves
+        first rise (cores add demand capacity) and then plateau (the
+        controller saturates) — the Figure 1a shape.
+        """
+        node = self.placement.node(rank)
+        demand = max(self.node_demand(node), 1.0)
+        spec = self.cluster.node
+        return min(spec.core_mem_bandwidth, spec.mem_bandwidth / demand)
+
+    def aggregate_bandwidth(self) -> float:
+        """Total bandwidth (B/s) the job can draw across all its nodes.
+
+        This is the quantity Module 4 activity 3 teaches: once a node is
+        saturated, spreading p ranks over 2 nodes doubles it relative to
+        packing them on 1.
+        """
+        total = 0.0
+        spec = self.cluster.node
+        for node in range(self.cluster.num_nodes):
+            ranks = self.placement.ranks_on_node(node)
+            if ranks == 0:
+                continue
+            demand = ranks + self.external_demand.get(node, 0.0)
+            share = min(spec.core_mem_bandwidth, spec.mem_bandwidth / max(demand, 1.0))
+            total += share * ranks
+        return total

@@ -1,0 +1,191 @@
+"""Node, network and cluster specifications plus rank placement.
+
+The default :func:`ClusterSpec.monsoon_like` models the paper's teaching
+cluster at the fidelity the modules need: multi-core nodes whose cores
+share one memory controller, and a two-level network (intra-node shared
+memory vs inter-node interconnect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ValidationError
+from repro.util.validation import check_positive, require
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A compute node.
+
+    Attributes:
+        cores: CPU cores (1 MPI rank per core, as on a typical cluster
+            where cores are not shared between users).
+        flops_per_core: peak floating-point rate of one core (FLOP/s).
+        mem_bandwidth: node memory bandwidth shared by all cores (B/s).
+        core_mem_bandwidth: the most bandwidth a *single* core can draw
+            (B/s).  On real processors a few cores saturate the memory
+            controller; the default (¼ of the node) means four streaming
+            ranks saturate a node — this is what makes memory-bound
+            speedup curves rise and then plateau (Figure 1a).  ``None``
+            selects the default.
+        mem_capacity: node DRAM capacity (bytes).
+        l2_cache_bytes: per-core cache modelled by :class:`CacheSim`.
+        cache_line_bytes: cache-line size (bytes).
+    """
+
+    cores: int = 32
+    flops_per_core: float = 2.0e10
+    mem_bandwidth: float = 8.0e10
+    core_mem_bandwidth: float | None = None
+    mem_capacity: float = 1.28e11
+    l2_cache_bytes: int = 1 << 20
+    cache_line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        check_positive("cores", self.cores)
+        check_positive("flops_per_core", self.flops_per_core)
+        check_positive("mem_bandwidth", self.mem_bandwidth)
+        if self.core_mem_bandwidth is None:
+            object.__setattr__(self, "core_mem_bandwidth", self.mem_bandwidth / 4.0)
+        check_positive("core_mem_bandwidth", self.core_mem_bandwidth)
+        require(
+            self.core_mem_bandwidth <= self.mem_bandwidth,
+            "core_mem_bandwidth cannot exceed node mem_bandwidth",
+        )
+        check_positive("mem_capacity", self.mem_capacity)
+        check_positive("l2_cache_bytes", self.l2_cache_bytes)
+        check_positive("cache_line_bytes", self.cache_line_bytes)
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Hockney (``alpha + n * beta``) parameters for the two network levels.
+
+    ``alpha_*`` are per-message latencies (s); ``beta_*`` are inverse
+    bandwidths (s/B).  ``eager_threshold`` is the message size (bytes) at
+    or below which a blocking send completes without waiting for the
+    matching receive (eager protocol); larger messages use rendezvous and
+    block, which is what makes the Module 1 ring-of-blocking-sends
+    deadlock reproducible.
+    """
+
+    alpha_intra: float = 5.0e-7
+    beta_intra: float = 1.0 / 1.0e10
+    alpha_inter: float = 2.0e-6
+    beta_inter: float = 1.0 / 1.25e9
+    eager_threshold: int = 4096
+
+    def __post_init__(self) -> None:
+        check_positive("alpha_intra", self.alpha_intra)
+        check_positive("beta_intra", self.beta_intra)
+        check_positive("alpha_inter", self.alpha_inter)
+        check_positive("beta_inter", self.beta_inter)
+        if self.eager_threshold < 0:
+            raise ValidationError("eager_threshold must be non-negative")
+
+    def ptp_time(self, nbytes: int, *, same_node: bool) -> float:
+        """Time to move one ``nbytes`` message between two ranks."""
+        if same_node:
+            return self.alpha_intra + nbytes * self.beta_intra
+        return self.alpha_inter + nbytes * self.beta_inter
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster: ``num_nodes`` copies of ``node`` plus a network."""
+
+    num_nodes: int = 4
+    node: NodeSpec = field(default_factory=NodeSpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+
+    def __post_init__(self) -> None:
+        check_positive("num_nodes", self.num_nodes)
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.node.cores
+
+    @classmethod
+    def monsoon_like(cls, num_nodes: int = 4) -> "ClusterSpec":
+        """The default teaching cluster: 32-core nodes (as in Figure 1)."""
+        return cls(num_nodes=num_nodes, node=NodeSpec(cores=32))
+
+    @classmethod
+    def laptop(cls) -> "ClusterSpec":
+        """A single small node, handy for unit tests."""
+        return cls(num_nodes=1, node=NodeSpec(cores=8))
+
+
+class Placement:
+    """Maps MPI ranks to nodes of a :class:`ClusterSpec`.
+
+    Two stock policies cover the paper's experiments:
+
+    * ``Placement.block(cluster, nprocs)`` packs ranks onto as few nodes
+      as possible (SLURM's default);
+    * ``Placement.spread(cluster, nprocs, nodes=k)`` distributes ranks
+      round-robin over ``k`` nodes (Module 4 activity 3's "p ranks on 2
+      nodes" configuration).
+    """
+
+    def __init__(self, cluster: ClusterSpec, node_of_rank: Sequence[int]):
+        self.cluster = cluster
+        self.node_of_rank = tuple(int(n) for n in node_of_rank)
+        for node in self.node_of_rank:
+            if not 0 <= node < cluster.num_nodes:
+                raise ValidationError(f"rank placed on nonexistent node {node}")
+        counts: dict[int, int] = {}
+        for node in self.node_of_rank:
+            counts[node] = counts.get(node, 0) + 1
+        for node, count in counts.items():
+            if count > cluster.node.cores:
+                raise ValidationError(
+                    f"node {node} assigned {count} ranks but has "
+                    f"{cluster.node.cores} cores"
+                )
+        self._counts = counts
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.node_of_rank)
+
+    def node(self, rank: int) -> int:
+        """Node index hosting ``rank``."""
+        return self.node_of_rank[rank]
+
+    def ranks_on_node(self, node: int) -> int:
+        """Number of ranks of this job placed on ``node``."""
+        return self._counts.get(node, 0)
+
+    def same_node(self, a: int, b: int) -> bool:
+        """True when ranks ``a`` and ``b`` share a node."""
+        return self.node_of_rank[a] == self.node_of_rank[b]
+
+    @property
+    def nodes_used(self) -> int:
+        return len(self._counts)
+
+    @classmethod
+    def block(cls, cluster: ClusterSpec, nprocs: int) -> "Placement":
+        """Fill node 0, then node 1, ... (packed placement)."""
+        check_positive("nprocs", nprocs)
+        require(
+            nprocs <= cluster.total_cores,
+            f"cannot place {nprocs} ranks on {cluster.total_cores} cores",
+        )
+        cores = cluster.node.cores
+        return cls(cluster, [rank // cores for rank in range(nprocs)])
+
+    @classmethod
+    def spread(cls, cluster: ClusterSpec, nprocs: int, nodes: int | None = None) -> "Placement":
+        """Round-robin ranks over ``nodes`` nodes (default: all nodes)."""
+        check_positive("nprocs", nprocs)
+        n = cluster.num_nodes if nodes is None else nodes
+        require(1 <= n <= cluster.num_nodes, f"nodes must be in [1, {cluster.num_nodes}]")
+        require(
+            nprocs <= n * cluster.node.cores,
+            f"cannot place {nprocs} ranks on {n} nodes of {cluster.node.cores} cores",
+        )
+        return cls(cluster, [rank % n for rank in range(nprocs)])

@@ -1,0 +1,143 @@
+"""Roofline compute-cost model.
+
+A kernel that performs ``flops`` floating-point operations while moving
+``bytes`` through the memory system takes::
+
+    time = max(flops / F, bytes / B)
+
+where ``F`` is the core's peak rate and ``B`` the memory bandwidth
+*available to this rank* (the node bandwidth divided among the ranks and
+co-scheduled jobs sharing it — see :mod:`repro.cluster.contention`).
+
+This single ``max`` is what produces every scalability phenomenon the
+paper teaches: a high-intensity kernel (Module 2's distance matrix) is
+``flops``-limited, so per-rank time is independent of how many ranks
+share the node and strong scaling is near-perfect; a low-intensity kernel
+(Module 3's sort, Module 4's R-tree traversal) is ``bytes``-limited, so
+packing more ranks onto one node shrinks each rank's bandwidth share and
+the speedup curve flattens (Figure 1, Program 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ValidationError
+from repro.util.validation import check_nonnegative, check_positive
+
+
+def operational_intensity(flops: float, nbytes: float) -> float:
+    """FLOPs per byte of memory traffic (the roofline x-axis)."""
+    check_nonnegative("flops", flops)
+    check_positive("nbytes", nbytes)
+    return flops / nbytes
+
+
+@dataclass(frozen=True)
+class ComputeCostModel:
+    """Roofline evaluator for one rank.
+
+    Attributes:
+        flops_per_s: the rank's peak compute rate.
+        bandwidth: memory bandwidth available to this rank (its share of
+            the node's bandwidth).
+    """
+
+    flops_per_s: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        check_positive("flops_per_s", self.flops_per_s)
+        check_positive("bandwidth", self.bandwidth)
+
+    def time(self, flops: float = 0.0, nbytes: float = 0.0) -> float:
+        """Roofline execution time of one compute phase."""
+        check_nonnegative("flops", flops)
+        check_nonnegative("nbytes", nbytes)
+        return max(flops / self.flops_per_s, nbytes / self.bandwidth)
+
+    def bound(self, flops: float, nbytes: float) -> str:
+        """``"compute"`` or ``"memory"`` — which roof limits this phase."""
+        if nbytes == 0:
+            return "compute"
+        if flops == 0:
+            return "memory"
+        ridge = self.flops_per_s / self.bandwidth
+        return "compute" if operational_intensity(flops, nbytes) >= ridge else "memory"
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Operational intensity where the two roofs meet (flop/B)."""
+        return self.flops_per_s / self.bandwidth
+
+    def attainable(self, intensity: float) -> float:
+        """Attainable FLOP/s at ``intensity`` (the roofline itself)."""
+        check_positive("intensity", intensity)
+        return min(self.flops_per_s, intensity * self.bandwidth)
+
+
+def render_roofline(
+    model: ComputeCostModel,
+    kernels: Mapping[str, tuple[float, float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """ASCII log-log roofline with kernels placed on it.
+
+    ``kernels`` maps name → ``(flops, nbytes)`` of one invocation; each
+    kernel is plotted at its operational intensity on the roof, labelled
+    a, b, c, ... — the picture the modules' "compute-bound vs
+    memory-bound" discussions draw on the whiteboard.
+    """
+    if not kernels:
+        raise ValidationError("no kernels to plot")
+    intensities = {
+        name: operational_intensity(flops, nbytes)
+        for name, (flops, nbytes) in kernels.items()
+    }
+    x_lo = min(min(intensities.values()), model.ridge_intensity) / 4.0
+    x_hi = max(max(intensities.values()), model.ridge_intensity) * 4.0
+    y_hi = model.flops_per_s
+    y_lo = model.attainable(x_lo) / 4.0
+
+    def col_of(x: float) -> int:
+        return int(
+            (math.log10(x) - math.log10(x_lo))
+            / (math.log10(x_hi) - math.log10(x_lo))
+            * (width - 1)
+        )
+
+    def row_of(y: float) -> int:
+        frac = (math.log10(y) - math.log10(y_lo)) / (
+            math.log10(y_hi) - math.log10(y_lo)
+        )
+        return height - 1 - int(min(max(frac, 0.0), 1.0) * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    for col in range(width):
+        x = 10 ** (
+            math.log10(x_lo)
+            + col / (width - 1) * (math.log10(x_hi) - math.log10(x_lo))
+        )
+        row = row_of(model.attainable(x))
+        glyph = "-" if x >= model.ridge_intensity else "/"
+        grid[row][col] = glyph
+    labels = []
+    for i, (name, intensity) in enumerate(intensities.items()):
+        letter = chr(ord("a") + i % 26)
+        grid[row_of(model.attainable(intensity))][col_of(intensity)] = letter
+        labels.append(
+            f"  {letter} = {name} (AI {intensity:.2g} flop/B, "
+            f"{model.bound(*kernels[name])}-bound)"
+        )
+    peak = f"{model.flops_per_s / 1e9:.3g} GF/s"
+    lines = [f"attainable perf (log), roof peaks at {peak}; ridge at "
+             f"{model.ridge_intensity:.2g} flop/B"]
+    lines += ["|" + "".join(row) + "|" for row in grid]
+    lines.append("+" + "-" * width + "+")
+    lines.append(f" {x_lo:.2g} ... operational intensity (flop/B, log) ... {x_hi:.2g}")
+    lines.extend(labels)
+    return "\n".join(lines)

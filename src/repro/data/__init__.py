@@ -1,0 +1,37 @@
+"""Dataset generators and partitioning helpers for the pedagogic modules.
+
+Everything is synthetic (the paper's handout datasets are not public) but
+matches the distributions the modules prescribe: uniform and exponential
+values for the distribution sort (Module 3), 90-dimensional feature
+vectors for the distance matrix (Module 2), 2-d points for k-means
+(Module 5), and an asteroid catalog with light-curve amplitude and
+rotation period for the range queries (Module 4's motivating example).
+"""
+
+from repro.data.generators import (
+    uniform_points,
+    uniform_values,
+    exponential_values,
+    gaussian_mixture,
+    feature_vectors,
+    block_partition,
+    partition_points,
+)
+from repro.data.asteroids import (
+    AsteroidCatalog,
+    asteroid_catalog,
+    asteroid_query_boxes,
+)
+
+__all__ = [
+    "uniform_points",
+    "uniform_values",
+    "exponential_values",
+    "gaussian_mixture",
+    "feature_vectors",
+    "block_partition",
+    "partition_points",
+    "AsteroidCatalog",
+    "asteroid_catalog",
+    "asteroid_query_boxes",
+]

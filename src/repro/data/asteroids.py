@@ -1,0 +1,78 @@
+"""Synthetic asteroid catalog for Module 4's range queries.
+
+The module motivates range queries with: *"Return all asteroids with a
+light curve amplitude between 0.2–1.0 and a rotation period between
+30–100 hours."*  We generate a catalog whose two columns follow the
+broad shapes of real survey data — log-normal amplitudes (most asteroids
+vary little) and log-uniform rotation periods over roughly 2–1000 hours
+— so range-query selectivity varies realistically across the space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.util.rng import SeedLike, spawn_rng
+from repro.util.validation import check_positive, require
+
+
+@dataclass(frozen=True)
+class AsteroidCatalog:
+    """Columns of the synthetic catalog (parallel arrays of length n)."""
+
+    amplitude: np.ndarray  # light-curve amplitude (mag), > 0
+    period: np.ndarray  # rotation period (hours), > 0
+
+    def __post_init__(self) -> None:
+        if self.amplitude.shape != self.period.shape:
+            raise ValidationError("catalog columns must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.amplitude)
+
+    @property
+    def points(self) -> np.ndarray:
+        """The catalog as an ``(n, 2)`` point array (amplitude, period)."""
+        return np.column_stack([self.amplitude, self.period])
+
+
+def asteroid_catalog(n: int, *, seed: SeedLike = 0) -> AsteroidCatalog:
+    """Generate ``n`` synthetic asteroids."""
+    check_positive("n", n)
+    rng = spawn_rng(seed, "asteroids", n)
+    # Amplitudes: log-normal, median ~0.2 mag, clipped to a survey-like range.
+    amplitude = np.clip(rng.lognormal(mean=np.log(0.2), sigma=0.8, size=n), 0.01, 3.0)
+    # Periods: log-uniform between 2 and 1000 hours.
+    period = np.exp(rng.uniform(np.log(2.0), np.log(1000.0), size=n))
+    return AsteroidCatalog(amplitude=amplitude, period=period)
+
+
+def asteroid_query_boxes(
+    q: int,
+    *,
+    seed: SeedLike = 0,
+    selectivity_scale: float = 0.15,
+) -> np.ndarray:
+    """Generate ``q`` rectangular range queries over the catalog space.
+
+    Returns an ``(q, 2, 2)`` array: ``boxes[i, 0] = (amp_lo, amp_hi)``
+    and ``boxes[i, 1] = (per_lo, per_hi)``.  Box widths scale with
+    ``selectivity_scale`` (fraction of each axis's log-range), giving a
+    mix of narrow and broad queries like the module's example
+    (amplitude 0.2–1.0, period 30–100 h).
+    """
+    check_positive("q", q)
+    require(0 < selectivity_scale <= 1.0, "selectivity_scale must be in (0, 1]")
+    rng = spawn_rng(seed, "asteroid_queries", q)
+    amp_log_range = (np.log(0.01), np.log(3.0))
+    per_log_range = (np.log(2.0), np.log(1000.0))
+    boxes = np.empty((q, 2, 2))
+    for axis, (lo, hi) in enumerate([amp_log_range, per_log_range]):
+        width = rng.uniform(0.2, 1.0, size=q) * selectivity_scale * (hi - lo)
+        start = rng.uniform(lo, hi - width)
+        boxes[:, axis, 0] = np.exp(start)
+        boxes[:, axis, 1] = np.exp(start + width)
+    return boxes

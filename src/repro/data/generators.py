@@ -1,0 +1,120 @@
+"""Synthetic dataset generators (all deterministic under a seed)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.util.rng import SeedLike, spawn_rng
+from repro.util.validation import check_positive, require
+
+
+def uniform_points(
+    n: int,
+    dims: int = 2,
+    *,
+    low: float = 0.0,
+    high: float = 1.0,
+    seed: SeedLike = 0,
+) -> np.ndarray:
+    """``n`` points uniform in ``[low, high)^dims`` (float64)."""
+    check_positive("n", n)
+    check_positive("dims", dims)
+    require(high > low, f"high must exceed low, got [{low}, {high})")
+    rng = spawn_rng(seed, "uniform_points", n, dims)
+    return rng.uniform(low, high, size=(n, dims))
+
+
+def uniform_values(
+    n: int, *, low: float = 0.0, high: float = 1.0, seed: SeedLike = 0
+) -> np.ndarray:
+    """``n`` scalar values uniform in ``[low, high)`` — Module 3 activity 1."""
+    check_positive("n", n)
+    require(high > low, f"high must exceed low, got [{low}, {high})")
+    rng = spawn_rng(seed, "uniform_values", n)
+    return rng.uniform(low, high, size=n)
+
+
+def exponential_values(
+    n: int, *, scale: float = 1.0, seed: SeedLike = 0
+) -> np.ndarray:
+    """``n`` exponentially distributed values — Module 3 activity 2.
+
+    The heavy skew toward small values is what breaks equal-width bucket
+    sort: low-range buckets receive far more data than high-range ones.
+    """
+    check_positive("n", n)
+    check_positive("scale", scale)
+    rng = spawn_rng(seed, "exponential_values", n)
+    return rng.exponential(scale, size=n)
+
+
+def gaussian_mixture(
+    n: int,
+    k: int,
+    dims: int = 2,
+    *,
+    spread: float = 0.05,
+    box: float = 1.0,
+    seed: SeedLike = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A k-cluster Gaussian mixture for Module 5's k-means.
+
+    Returns ``(points, labels, centers)`` where ``labels[i]`` is the true
+    mixture component of ``points[i]`` and ``centers`` are the true
+    component means (uniform in ``[0, box)^dims``).
+    """
+    check_positive("n", n)
+    check_positive("k", k)
+    check_positive("dims", dims)
+    check_positive("spread", spread)
+    require(k <= n, f"cannot draw {k} clusters from {n} points")
+    rng = spawn_rng(seed, "gaussian_mixture", n, k, dims)
+    centers = rng.uniform(0.0, box, size=(k, dims))
+    labels = rng.integers(0, k, size=n)
+    points = centers[labels] + rng.normal(0.0, spread, size=(n, dims))
+    return points, labels, centers
+
+
+def feature_vectors(
+    n: int, dims: int = 90, *, seed: SeedLike = 0
+) -> np.ndarray:
+    """Module 2's dataset: ``n`` feature vectors of ``dims`` dimensions.
+
+    The paper's module computes the distance matrix on 90-dimensional
+    points, hence the default.  Values are correlated across dimensions
+    (a random low-rank structure plus noise) so distances have realistic
+    spread rather than concentrating, which keeps the exercise's output
+    meaningful to inspect.
+    """
+    check_positive("n", n)
+    check_positive("dims", dims)
+    rng = spawn_rng(seed, "feature_vectors", n, dims)
+    rank = max(2, dims // 10)
+    basis = rng.normal(size=(rank, dims))
+    weights = rng.normal(size=(n, rank))
+    noise = rng.normal(scale=0.1, size=(n, dims))
+    return weights @ basis + noise
+
+
+def block_partition(n: int, p: int, rank: int) -> slice:
+    """The contiguous share of ``n`` items owned by ``rank`` of ``p``.
+
+    Remainder items go to the lowest ranks, so shares differ by at most
+    one — the standard block distribution the modules assume.
+    """
+    check_positive("n", n)
+    check_positive("p", p)
+    require(0 <= rank < p, f"rank {rank} out of range for p={p}")
+    base, extra = divmod(n, p)
+    start = rank * base + min(rank, extra)
+    stop = start + base + (1 if rank < extra else 0)
+    return slice(start, stop)
+
+
+def partition_points(points: np.ndarray, p: int) -> list[np.ndarray]:
+    """Split an array into ``p`` block-partition chunks (views)."""
+    if p < 1:
+        raise ValidationError(f"p must be >= 1, got {p}")
+    n = len(points)
+    return [points[block_partition(n, p, r)] for r in range(p)]

@@ -1,0 +1,74 @@
+"""The pedagogy-evaluation framework (Section IV of the paper).
+
+* :mod:`~repro.edu.cohort` — the 10-student cohort of Table III;
+* :mod:`~repro.edu.quiz` — quizzes, attempts, and the worked Module 4
+  example question (Figure 1) with an automatic answer;
+* :mod:`~repro.edu.stats` — the Table IV statistics engine, implementing
+  the paper's mean-relative-change formulas exactly as printed;
+* :mod:`~repro.edu.reconstruct` — a constraint solver that reconstructs
+  per-student pre/post scores (Figure 2) from the published aggregates;
+* :mod:`~repro.edu.scenario` — the Figure 1 speedup curves generated on
+  the simulator, plus the co-scheduling answer;
+* :mod:`~repro.edu.survey` — the free-response survey themes of §IV-D;
+* :mod:`~repro.edu.figures` — text renderings of Figures 1 and 2.
+"""
+
+from repro.edu.cohort import Student, COHORT, demographics_counts, render_table3
+from repro.edu.quiz import (
+    Quiz,
+    QUIZZES,
+    QuizPair,
+    example_question_module4,
+)
+from repro.edu.stats import (
+    Table4Stats,
+    PAPER_TABLE4,
+    compute_table4,
+    render_table4_comparison,
+    normalized_gain,
+    mean_normalized_gain,
+)
+from repro.edu.quizbank import (
+    QuizQuestion,
+    build_quiz_bank,
+    questions_for_quiz,
+    grade,
+)
+from repro.edu.reconstruct import (
+    ReconstructionSpec,
+    PAPER_SPEC,
+    reconstruct_cohort_scores,
+)
+from repro.edu.scenario import figure1_speedup_curves, answer_figure1_question
+from repro.edu.survey import SURVEY_FINDINGS, SurveyFinding
+from repro.edu.figures import render_figure1, render_figure2
+
+__all__ = [
+    "Student",
+    "COHORT",
+    "demographics_counts",
+    "render_table3",
+    "Quiz",
+    "QUIZZES",
+    "QuizPair",
+    "example_question_module4",
+    "Table4Stats",
+    "PAPER_TABLE4",
+    "compute_table4",
+    "render_table4_comparison",
+    "normalized_gain",
+    "mean_normalized_gain",
+    "QuizQuestion",
+    "build_quiz_bank",
+    "questions_for_quiz",
+    "grade",
+    "ReconstructionSpec",
+    "PAPER_SPEC",
+    "reconstruct_cohort_scores",
+    "figure1_speedup_curves",
+    "answer_figure1_question",
+    "SURVEY_FINDINGS",
+    "SurveyFinding",
+    "render_figure1",
+    "render_figure2",
+]

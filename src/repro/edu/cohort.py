@@ -1,0 +1,77 @@
+"""Table III — demographics of the Spring 2020 cohort.
+
+Ten graduate students; only three with a traditional computer-science
+background (one BS, one MS, one of the Informatics & Computing PhD
+students).  The paper does not link student IDs to programs, so the ID
+assignment here is arbitrary (documented as such); no downstream
+statistic depends on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.tables import TextTable
+
+
+@dataclass(frozen=True)
+class Student:
+    """One cohort member."""
+
+    sid: int  # 1..10, matching Figure 2's student numbering
+    program: str
+    subfield: str | None = None
+
+    @property
+    def cs_background(self) -> bool:
+        """Traditional computer-science background, per the paper's
+        classification (their footnote caveats apply here too)."""
+        return self.program in ("Computer Science (BS)", "Computer Science (MS)") or (
+            self.subfield == "CS"
+        )
+
+
+COHORT: tuple[Student, ...] = (
+    Student(1, "Computer Science (BS)"),
+    Student(2, "Computer Science (MS)"),
+    Student(3, "Electrical Engineering (MS)"),
+    Student(4, "Electrical Engineering (MS)"),
+    Student(5, "Astronomy & Planetary Science (PhD)"),
+    Student(6, "Informatics & Computing (PhD)", "bioinformatics"),
+    Student(7, "Informatics & Computing (PhD)", "CS"),
+    Student(8, "Informatics & Computing (PhD)", "ecoinformatics"),
+    Student(9, "Informatics & Computing (PhD)", "EE"),
+    Student(10, "Informatics & Computing (PhD)", "EE"),
+)
+
+
+def demographics_counts() -> dict[str, int]:
+    """Program → head-count (the Table III rows)."""
+    counts: dict[str, int] = {}
+    for student in COHORT:
+        counts[student.program] = counts.get(student.program, 0) + 1
+    return counts
+
+
+def cs_background_count() -> int:
+    return sum(1 for s in COHORT if s.cs_background)
+
+
+def render_table3() -> str:
+    """Regenerate Table III as text."""
+    table = TextTable(
+        ["Program", "Number"],
+        title="Table III: demographics of the graduate HPC course cohort",
+    )
+    inf_subfields: list[str] = []
+    for program, count in demographics_counts().items():
+        if program.startswith("Informatics"):
+            subs: dict[str, int] = {}
+            for s in COHORT:
+                if s.program == program and s.subfield:
+                    subs[s.subfield] = subs.get(s.subfield, 0) + 1
+            detail = ", ".join(f"{v}x{k}" for k, v in sorted(subs.items()))
+            table.add_row([program, f"{count} ({detail})"])
+        else:
+            table.add_row([program, count])
+    return table.render()

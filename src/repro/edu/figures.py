@@ -1,0 +1,49 @@
+"""Text renderings of the paper's two figures."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.edu.quiz import QuizPair
+from repro.util.asciiplot import ascii_series, grouped_bars
+
+
+def render_figure1(
+    curves: Mapping[str, tuple[Sequence[int], Sequence[float]]],
+    *,
+    height: int = 14,
+    width: int = 56,
+) -> str:
+    """Figure 1: speedup vs cores for the two programs, side by side."""
+    blocks = []
+    for name, (cores, speedup) in curves.items():
+        plot = ascii_series(
+            list(cores), {name: list(speedup)}, height=height, width=width,
+            ylabel="speedup",
+        )
+        blocks.append(f"--- {name} ---\n{plot}")
+    return "\n\n".join(blocks)
+
+
+def render_figure2(pairs: Sequence[QuizPair], *, width: int = 40) -> str:
+    """Figure 2: pre (white) / post (blue) scores per student, per quiz.
+
+    One grouped bar chart per quiz, students on the y axis, percent on
+    the x axis — the text analogue of the paper's five bar plots.
+    """
+    blocks = []
+    for quiz in sorted({p.quiz for p in pairs}):
+        quiz_pairs = sorted((p for p in pairs if p.quiz == quiz), key=lambda p: p.student)
+        labels = [f"student {p.student}" for p in quiz_pairs]
+        chart = grouped_bars(
+            labels,
+            {
+                "pre ": [p.pre for p in quiz_pairs],
+                "post": [p.post for p in quiz_pairs],
+            },
+            width=width,
+            vmax=100.0,
+            unit="%",
+        )
+        blocks.append(f"--- Quiz {quiz} ---\n{chart}")
+    return "\n\n".join(blocks)

@@ -1,0 +1,114 @@
+"""Quizzes, score pairs, and the worked Module 4 example question.
+
+The paper's quizzes are no-stakes pre/post instruments, one per module.
+Point totals are not published; :data:`QUIZZES` carries the totals
+*inferred* from Table IV's exact decimal means (see
+:mod:`repro.edu.reconstruct` for the derivation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.slurm import recommend_coschedule
+from repro.util.validation import check_in_range
+
+
+@dataclass(frozen=True)
+class Quiz:
+    """One pre/post quiz (assessing one module).
+
+    ``points`` is the score denominator in raw units; percent scores are
+    ``100 * raw / points``.
+    """
+
+    number: int
+    module: int
+    points: int
+    topic: str
+
+
+#: The five quizzes.  Point totals inferred from Table IV (DESIGN.md §5):
+#: 88.89% = 48/54 → 9 students × 6 points, etc.  Quiz 3's resolution is
+#: inferred as 0.5% (200 units).
+QUIZZES: tuple[Quiz, ...] = (
+    Quiz(1, 1, 6, "MPI communication"),
+    Quiz(2, 2, 5, "distance matrix & tiling"),
+    Quiz(3, 3, 200, "distribution sort & load balance"),
+    Quiz(4, 4, 4, "range queries & resource allocation"),
+    Quiz(5, 5, 12, "k-means & communication volume"),
+)
+
+
+def quiz(number: int) -> Quiz:
+    for q in QUIZZES:
+        if q.number == number:
+            return q
+    raise ValidationError(f"no quiz numbered {number}")
+
+
+@dataclass(frozen=True)
+class QuizPair:
+    """One student's (pre, post) percent scores on one quiz."""
+
+    student: int
+    quiz: int
+    pre: float
+    post: float
+
+    def __post_init__(self) -> None:
+        check_in_range("pre", self.pre, 0.0, 100.0)
+        check_in_range("post", self.post, 0.0, 100.0)
+
+    @property
+    def direction(self) -> str:
+        """``"equal"``, ``"increase"`` or ``"decrease"`` post vs pre."""
+        if self.post > self.pre:
+            return "increase"
+        if self.post < self.pre:
+            return "decrease"
+        return "equal"
+
+
+@dataclass(frozen=True)
+class ExampleQuestion:
+    """The §IV-B example question (Figure 1), with its graded answer."""
+
+    prompt: str
+    options: tuple[str, str]
+    correct_option: int  # index into options
+    explanation: str
+
+
+def example_question_module4(curves=None) -> ExampleQuestion:
+    """Build (and answer) the paper's example quiz question.
+
+    ``curves`` maps program name → (cores, speedup); defaults to the
+    simulator-generated Figure 1 curves.  The answer is computed by the
+    co-scheduling advisor, not hard-coded, so the question stays correct
+    under any curve shapes.
+    """
+    if curves is None:
+        from repro.edu.scenario import figure1_speedup_curves
+
+        curves = figure1_speedup_curves()
+    names = list(curves)
+    if len(names) != 2:
+        raise ValidationError("the example question compares exactly two programs")
+    advice = recommend_coschedule(curves)
+    correct = names.index(advice.share_with)
+    prompt = (
+        "The figure shows the speedup of two different MPI programs executed "
+        "on two identical 32-core compute nodes.  Both programs only use 20 "
+        "of 32 cores and will run continuously for the next week on the same "
+        "two nodes.  Another user wants to use one of the compute nodes you "
+        "are using.  Select the program and compute node that is most likely "
+        "to minimize performance degradation to your program."
+    )
+    return ExampleQuestion(
+        prompt=prompt,
+        options=(names[0], names[1]),
+        correct_option=correct,
+        explanation=advice.explanation,
+    )

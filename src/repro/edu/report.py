@@ -1,0 +1,76 @@
+"""One-call regeneration of the paper's whole evaluation (Section IV).
+
+:func:`full_evaluation_report` stitches together everything Section IV
+presents — methodology note, Table III, the Figure 1 example question,
+Figure 2, Table IV, the supplementary Hake gains, and the survey themes
+— into a single text document, every number recomputed live.
+"""
+
+from __future__ import annotations
+
+from repro.edu.cohort import render_table3
+from repro.edu.figures import render_figure1, render_figure2
+from repro.edu.quiz import example_question_module4
+from repro.edu.reconstruct import reconstruct_cohort_scores
+from repro.edu.scenario import figure1_speedup_curves
+from repro.edu.stats import (
+    class_normalized_gain,
+    compute_table4,
+    render_table4_comparison,
+)
+from repro.edu.survey import SURVEY_FINDINGS
+from repro.util.tables import TextTable
+
+_METHODOLOGY = """\
+Methodology (paper §IV-A): no-stakes quizzes before and after each
+module; students missing either quiz of a pair are excluded for that
+module.  Raw scores are not public — the dataset below is reconstructed
+to satisfy every aggregate the paper publishes (DESIGN.md §5)."""
+
+
+def full_evaluation_report() -> str:
+    """Regenerate Section IV end to end; returns the report text."""
+    sections: list[str] = [_METHODOLOGY, ""]
+
+    sections.append(render_table3())
+    sections.append("")
+
+    curves = figure1_speedup_curves()
+    sections.append("Figure 1 + the §IV-B example question:")
+    sections.append(render_figure1(curves))
+    question = example_question_module4(curves)
+    sections.append("")
+    sections.append(question.prompt)
+    sections.append(
+        f"  -> correct answer: {question.options[question.correct_option]}"
+    )
+    sections.append("")
+
+    rec = reconstruct_cohort_scores()
+    stats = compute_table4(rec.pairs)
+    sections.append(render_table4_comparison(stats))
+    sections.append("")
+
+    gains = TextTable(
+        ["Quiz", "Class-level normalized gain (Hake)"],
+        title="Supplementary analysis (not in the paper)",
+    )
+    by_quiz: dict[int, list] = {}
+    for pair in rec.pairs:
+        by_quiz.setdefault(pair.quiz, []).append(pair)
+    for quiz in sorted(by_quiz):
+        gains.add_row([quiz, f"{class_normalized_gain(by_quiz[quiz]):+.3f}"])
+    sections.append(gains.render())
+    sections.append("")
+
+    sections.append("Figure 2 (reconstructed pre/post scores):")
+    sections.append(render_figure2(rec.pairs))
+    sections.append("")
+
+    survey = TextTable(["Survey question", "Aggregate result"],
+                       title="Free-response survey (paper §IV-D)")
+    for finding in SURVEY_FINDINGS:
+        survey.add_row([finding.question, finding.result])
+    sections.append(survey.render())
+
+    return "\n".join(sections)

@@ -1,0 +1,182 @@
+"""The Table IV statistics engine.
+
+Implements the paper's statistics exactly as defined: pair counts by
+direction, per-quiz pre/post mean percentages, and the mean relative
+performance increase/decrease
+
+.. math::  \\frac{1}{i} \\sum_{j=1}^{i} \\frac{|a_j - b_j|}{b_j}
+
+where :math:`a_j`, :math:`b_j` are the pre and post scores of the pairs
+that increased (:math:`i = 19`) or decreased (:math:`d = 6`).  Note the
+denominator is the *post* score :math:`b_j`, as printed in the paper;
+:func:`compute_table4` also reports the conventional pre-normalized
+variant for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.edu.quiz import QuizPair
+from repro.errors import ValidationError
+from repro.util.tables import TextTable
+
+
+@dataclass(frozen=True)
+class Table4Stats:
+    """Everything Table IV reports (plus the pre-normalized variant)."""
+
+    total_pairs: int
+    equal: int
+    increase: int
+    decrease: int
+    mean_rel_increase: float  # percent, post-normalized (paper's formula)
+    mean_rel_decrease: float  # percent
+    mean_rel_increase_pre_norm: float  # percent, |a-b|/a
+    mean_rel_decrease_pre_norm: float
+    quiz_pre_means: dict[int, float] = field(default_factory=dict)
+    quiz_post_means: dict[int, float] = field(default_factory=dict)
+
+
+#: Table IV as published.
+PAPER_TABLE4 = Table4Stats(
+    total_pairs=42,
+    equal=17,
+    increase=19,
+    decrease=6,
+    mean_rel_increase=47.86,
+    mean_rel_decrease=27.30,
+    mean_rel_increase_pre_norm=float("nan"),  # not published
+    mean_rel_decrease_pre_norm=float("nan"),
+    quiz_pre_means={1: 88.89, 2: 82.22, 3: 69.50, 4: 60.71, 5: 80.21},
+    quiz_post_means={1: 98.15, 2: 88.89, 3: 77.78, 4: 67.86, 5: 79.17},
+)
+
+
+def _mean_rel(pairs: list[QuizPair], *, denominator: str, strict: bool = True) -> float:
+    """Mean of ``|post-pre|/denom`` in percent.
+
+    With ``strict`` (used for the paper's post-normalized statistic) a
+    zero denominator raises; the informational pre-normalized variant
+    passes ``strict=False`` and skips such pairs (a pre score of 0 with
+    a later improvement has no defined relative change).
+    """
+    out = []
+    for p in pairs:
+        denom = p.post if denominator == "post" else p.pre
+        if denom == 0:
+            if strict:
+                raise ValidationError(
+                    f"relative change undefined: zero {denominator} score in "
+                    f"student {p.student} quiz {p.quiz}"
+                )
+            continue
+        out.append(abs(p.post - p.pre) / denom)
+    return 100.0 * sum(out) / len(out) if out else 0.0
+
+
+def compute_table4(pairs: Sequence[QuizPair]) -> Table4Stats:
+    """Recompute every Table IV statistic from raw score pairs."""
+    if not pairs:
+        raise ValidationError("no quiz pairs supplied")
+    increases = [p for p in pairs if p.direction == "increase"]
+    decreases = [p for p in pairs if p.direction == "decrease"]
+    equals = [p for p in pairs if p.direction == "equal"]
+    quizzes = sorted({p.quiz for p in pairs})
+    pre_means, post_means = {}, {}
+    for q in quizzes:
+        qp = [p for p in pairs if p.quiz == q]
+        pre_means[q] = sum(p.pre for p in qp) / len(qp)
+        post_means[q] = sum(p.post for p in qp) / len(qp)
+    return Table4Stats(
+        total_pairs=len(pairs),
+        equal=len(equals),
+        increase=len(increases),
+        decrease=len(decreases),
+        mean_rel_increase=_mean_rel(increases, denominator="post"),
+        mean_rel_decrease=_mean_rel(decreases, denominator="post"),
+        mean_rel_increase_pre_norm=_mean_rel(increases, denominator="pre", strict=False),
+        mean_rel_decrease_pre_norm=_mean_rel(decreases, denominator="pre", strict=False),
+        quiz_pre_means=pre_means,
+        quiz_post_means=post_means,
+    )
+
+
+def normalized_gain(pre: float, post: float) -> float | None:
+    """Hake's normalized learning gain ``(post - pre) / (100 - pre)``.
+
+    The standard pre/post education metric (not used by the paper, but
+    the natural companion analysis for its data).  Undefined when the
+    pre score is already 100: returns ``None`` (perfect-to-perfect) —
+    callers skip those pairs.
+    """
+    if not (0 <= pre <= 100 and 0 <= post <= 100):
+        raise ValidationError(f"scores must be percentages, got {pre}, {post}")
+    if pre == 100.0:
+        return None
+    return (post - pre) / (100.0 - pre)
+
+
+def mean_normalized_gain(pairs: Sequence[QuizPair]) -> float:
+    """Average of per-pair Hake gains (pairs with pre = 100 skipped).
+
+    Beware the metric's known pathology: a score *drop* from a
+    near-ceiling pre score produces an enormous negative gain, so a few
+    such pairs can dominate.  :func:`class_normalized_gain` is the
+    robust class-level variant Hake actually defined.
+    """
+    gains = [
+        g for g in (normalized_gain(p.pre, p.post) for p in pairs) if g is not None
+    ]
+    if not gains:
+        raise ValidationError("no pair has a defined normalized gain")
+    return sum(gains) / len(gains)
+
+
+def class_normalized_gain(pairs: Sequence[QuizPair]) -> float:
+    """Hake's class-level gain: ``(<post> - <pre>) / (100 - <pre>)``
+    over the class *average* scores — the standard published form."""
+    if not pairs:
+        raise ValidationError("no quiz pairs supplied")
+    pre_mean = sum(p.pre for p in pairs) / len(pairs)
+    post_mean = sum(p.post for p in pairs) / len(pairs)
+    if pre_mean == 100.0:
+        raise ValidationError("class gain undefined: perfect pre-test average")
+    return (post_mean - pre_mean) / (100.0 - pre_mean)
+
+
+def render_table4_comparison(measured: Table4Stats, paper: Table4Stats = PAPER_TABLE4) -> str:
+    """Side-by-side paper-vs-measured rendering of Table IV."""
+    table = TextTable(
+        ["Statistic", "Paper", "Measured"],
+        title="Table IV: quiz statistics (paper vs reconstruction)",
+    )
+    table.add_row(["Total Pre & Post Quiz Pairs", paper.total_pairs, measured.total_pairs])
+    table.add_row(["Pre & Post: Equal in Score", paper.equal, measured.equal])
+    table.add_row(["Pre & Post: Increase in Score (i)", paper.increase, measured.increase])
+    table.add_row(["Pre & Post: Decrease in Score (d)", paper.decrease, measured.decrease])
+    table.add_row(
+        [
+            "Mean Relative Performance Increase",
+            f"{paper.mean_rel_increase:.2f}%",
+            f"{measured.mean_rel_increase:.2f}%",
+        ]
+    )
+    table.add_row(
+        [
+            "Mean Relative Performance Decrease",
+            f"{paper.mean_rel_decrease:.2f}%",
+            f"{measured.mean_rel_decrease:.2f}%",
+        ]
+    )
+    for q in sorted(paper.quiz_pre_means):
+        table.add_row(
+            [
+                f"Mean Quiz {q} Grade Pre (Post)",
+                f"{paper.quiz_pre_means[q]:.2f}% ({paper.quiz_post_means[q]:.2f}%)",
+                f"{measured.quiz_pre_means.get(q, float('nan')):.2f}% "
+                f"({measured.quiz_post_means.get(q, float('nan')):.2f}%)",
+            ]
+        )
+    return table.render()

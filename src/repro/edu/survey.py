@@ -1,0 +1,65 @@
+"""Section IV-D — the free-response survey, as structured data.
+
+The paper reports aggregated themes and counts from an anonymous
+survey.  Those aggregates are transcribed here so the evaluation
+benchmark can print the qualitative findings next to the quantitative
+ones; there is nothing to simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SurveyFinding:
+    """One aggregated survey result."""
+
+    question: str
+    result: str
+
+
+SURVEY_FINDINGS: tuple[SurveyFinding, ...] = (
+    SurveyFinding(
+        "Course difficulty relative to other graduate courses",
+        "1 student: easier; 5: more difficult; 4: much more difficult",
+    ),
+    SurveyFinding(
+        "Most challenging aspects",
+        "building a coding environment, designing parallel algorithms, and "
+        "working with the cluster",
+    ),
+    SurveyFinding(
+        "Favorite module",
+        "4 students chose Module 5 (k-means): prior modules scaffolded it, "
+        "and the visualization of correct clustering was satisfying",
+    ),
+    SurveyFinding(
+        "Least favorite module",
+        "inconsistent: modules 1-5 received 2, 1, 1, 2, 1 votes respectively",
+    ),
+    SurveyFinding(
+        "Most challenging module",
+        "4 students chose Module 2 (distance matrix): a big step up from "
+        "Module 1, MPI still unfamiliar, wanted more guidance on blocking "
+        "loops",
+    ),
+    SurveyFinding(
+        "Overall sentiment",
+        "practical, taught a new skill, applicable to research; examples "
+        "spanned a broad range of subjects",
+    ),
+)
+
+#: Least-favorite votes per module (the "inconsistent" distribution).
+LEAST_FAVORITE_VOTES: dict[int, int] = {1: 2, 2: 1, 3: 1, 4: 2, 5: 1}
+#: Favorite-module votes the paper reports explicitly.
+FAVORITE_MODULE_VOTES: dict[int, int] = {5: 4}
+#: Most-challenging votes the paper reports explicitly.
+MOST_CHALLENGING_VOTES: dict[int, int] = {2: 4}
+#: Difficulty poll (easier / more difficult / much more difficult).
+DIFFICULTY_POLL: dict[str, int] = {
+    "easier": 1,
+    "more difficult": 5,
+    "much more difficult": 4,
+}

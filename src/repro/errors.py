@@ -1,0 +1,62 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every exception raised by this package derives from :class:`ReproError`,
+so callers can catch one base class.  The simulated MPI runtime raises
+:class:`SMPIError` subclasses that mirror the error classes of a real MPI
+implementation (truncation, invalid rank/tag, abort) plus
+:class:`DeadlockError`, which a real MPI cannot raise but a simulator can
+detect — that detection is itself a teaching feature (Module 1, learning
+outcome 3: "examine how blocking message passing may lead to deadlock").
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad shape, range, or type)."""
+
+
+class SMPIError(ReproError):
+    """Base class for simulated-MPI runtime errors."""
+
+
+class DeadlockError(SMPIError):
+    """Every live rank is blocked and no message can ever arrive.
+
+    Raised in *all* blocked ranks.  The message lists each rank's blocking
+    call so students can see the wait-for cycle.
+    """
+
+
+class TruncationError(SMPIError):
+    """A received message is larger than the posted receive buffer.
+
+    Mirrors ``MPI_ERR_TRUNCATE``.
+    """
+
+
+class InvalidRankError(SMPIError, ValueError):
+    """A rank argument is outside ``[0, comm.size)`` (``MPI_ERR_RANK``)."""
+
+
+class InvalidTagError(SMPIError, ValueError):
+    """A tag argument is negative or out of range (``MPI_ERR_TAG``)."""
+
+
+class CommAbortError(SMPIError):
+    """The world was aborted, either explicitly (``comm.abort()``) or
+    because a peer rank raised an uncaught exception."""
+
+
+class SchedulerError(ReproError):
+    """A batch-scheduler request could not be satisfied (bad job spec,
+    impossible resource request, unknown job id)."""
+
+
+class ReconstructionError(ReproError):
+    """The cohort-reconstruction solver could not satisfy the published
+    aggregate constraints within its search budget."""

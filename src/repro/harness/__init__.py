@@ -1,0 +1,38 @@
+"""Experiment harness: scaling runners and the per-artifact registry.
+
+Every table/figure/claim in DESIGN.md §4 has an experiment here; the
+``benchmarks/`` directory wraps these with pytest-benchmark so a single
+``pytest benchmarks/ --benchmark-only`` regenerates the whole evaluation.
+"""
+
+from repro.harness.scaling import (
+    ScalingResult,
+    WeakScalingResult,
+    run_strong_scaling,
+    run_weak_scaling,
+    run_node_sweep,
+)
+from repro.harness.experiments import (
+    Experiment,
+    ExperimentReport,
+    EXPERIMENTS,
+    run_experiment,
+)
+from repro.harness.profile import memory_bound_fraction, profile_from_run
+from repro.harness.kernels import module_kernel_roofline, module_kernels
+
+__all__ = [
+    "ScalingResult",
+    "WeakScalingResult",
+    "run_strong_scaling",
+    "run_weak_scaling",
+    "run_node_sweep",
+    "Experiment",
+    "ExperimentReport",
+    "EXPERIMENTS",
+    "run_experiment",
+    "memory_bound_fraction",
+    "profile_from_run",
+    "module_kernel_roofline",
+    "module_kernels",
+]

@@ -1,0 +1,59 @@
+"""The modules' kernels placed on one roofline.
+
+:func:`module_kernel_roofline` renders the chart that summarizes the
+paper's entire performance narrative: which module kernels sit under the
+memory roof (bucket sort, R-tree traversal, row-wise distance matrix)
+and which sit on the compute roof (tiled distance matrix, brute-force
+scan) — and therefore who scales and who saturates.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import ClusterSpec, ComputeCostModel, render_roofline
+from repro.modules.module2_distance import FLOPS_PER_ELEMENT as M2_FLOPS
+from repro.modules.module3_sort import (
+    SORT_BYTES_PER_ELEMENT_LEVEL,
+    SORT_FLOPS_PER_ELEMENT_LEVEL,
+)
+from repro.modules.module4_range import (
+    BRUTE_MISS_FRACTION,
+    FLOPS_PER_ENTRY,
+    RTREE_RANDOM_ACCESS_PENALTY,
+    _node_bytes,
+)
+
+
+def module_kernels(dims: int = 90, tile: int = 128) -> dict[str, tuple[float, float]]:
+    """Per-unit (flops, bytes) of each module's inner kernel, from the
+    same constants the cost models charge."""
+    point_bytes = dims * 8.0
+    lines = -(-point_bytes // 64) * 64.0
+    return {
+        "M2 distance matrix, row-wise": (M2_FLOPS * dims, lines),
+        "M2 distance matrix, tiled": (M2_FLOPS * dims, lines / tile + lines / 2048),
+        "M3 bucket sort": (
+            SORT_FLOPS_PER_ELEMENT_LEVEL, SORT_BYTES_PER_ELEMENT_LEVEL,
+        ),
+        "M4 brute-force scan": (FLOPS_PER_ENTRY, 2 * 8.0 * BRUTE_MISS_FRACTION),
+        "M4 R-tree traversal": (
+            FLOPS_PER_ENTRY * 16,
+            _node_bytes(2, 16) * RTREE_RANDOM_ACCESS_PENALTY,
+        ),
+        "M5 k-means assignment (k=8)": (3.0 * 8 * 2, 2 * 8.0),
+    }
+
+
+def module_kernel_roofline(
+    cluster: ClusterSpec | None = None, *, ranks_on_node: int = 1, **render_kwargs
+) -> str:
+    """Render every module kernel on the node's roofline.
+
+    ``ranks_on_node`` selects whose bandwidth share the roof uses: 1
+    shows the single-rank picture (core-cap roof), a full node shows why
+    packed memory-bound kernels stop scaling.
+    """
+    spec = cluster or ClusterSpec.monsoon_like(num_nodes=1)
+    node = spec.node
+    share = min(node.core_mem_bandwidth, node.mem_bandwidth / max(ranks_on_node, 1))
+    model = ComputeCostModel(flops_per_s=node.flops_per_core, bandwidth=share)
+    return render_roofline(model, module_kernels(), **render_kwargs)

@@ -1,0 +1,54 @@
+"""The paper's contribution: five data-intensive pedagogic modules.
+
+Each module is implemented as the *canonical solution* a student would
+write against the simulated MPI runtime, exposing exactly the algorithms
+and performance phenomena the paper describes:
+
+1. :mod:`~repro.modules.module1_comm` — MPI communication patterns
+   (ping-pong, ring, random communication, deadlock).
+2. :mod:`~repro.modules.module2_distance` — distributed distance matrix,
+   row-wise vs tiled traversal, cache-miss measurement.
+3. :mod:`~repro.modules.module3_sort` — distribution (bucket) sort with
+   uniform/exponential data and histogram-balanced splitters.
+4. :mod:`~repro.modules.module4_range` — range queries, brute force vs
+   R-tree, node-allocation experiments.
+5. :mod:`~repro.modules.module5_kmeans` — distributed k-means with
+   explicit-assignment vs weighted-mean communication.
+
+Plus the two ancillary modules (:mod:`~repro.modules.ancillary`): the
+SLURM introduction and MPI warmup exercises.
+"""
+
+from repro.modules.base import (
+    ModuleInfo,
+    Activity,
+    MODULES,
+    module_info,
+    extension_modules,
+)
+from repro.modules import module1_comm as module1
+from repro.modules import module2_distance as module2
+from repro.modules import module3_sort as module3
+from repro.modules import module4_range as module4
+from repro.modules import module5_kmeans as module5
+from repro.modules import module6_overlap as module6
+from repro.modules import module7_topk as module7
+from repro.modules import ancillary
+from repro.modules import pitfalls
+
+__all__ = [
+    "ModuleInfo",
+    "Activity",
+    "MODULES",
+    "module_info",
+    "extension_modules",
+    "module1",
+    "module2",
+    "module3",
+    "module4",
+    "module5",
+    "module6",
+    "module7",
+    "ancillary",
+    "pitfalls",
+]

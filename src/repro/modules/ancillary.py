@@ -1,0 +1,145 @@
+"""The two ancillary modules: SLURM introduction and MPI warmups.
+
+The paper provides these as gentle on-ramps — the SLURM module teaches
+the batch-scheduler workflow (write a job script, submit, inspect
+accounting), the warmups are tiny in-class MPI exercises.  Both are
+runnable here end to end against the simulated scheduler and runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import smpi
+from repro.slurm import (
+    JobState,
+    Scheduler,
+    WorkloadProfile,
+    parse_sbatch_script,
+)
+from repro.util.validation import check_positive
+
+# -- SLURM introduction -------------------------------------------------------
+
+EXAMPLE_JOB_SCRIPT = """\
+#!/bin/bash
+#SBATCH --job-name=warmup
+#SBATCH --nodes=1
+#SBATCH --ntasks=4
+#SBATCH --time=00:05:00
+
+module load openmpi
+srun ./warmup
+"""
+
+
+@dataclass(frozen=True)
+class SlurmIntroReport:
+    """What the SLURM-introduction walkthrough produced."""
+
+    job_id: int
+    state: JobState
+    wait_time: float
+    elapsed: float
+    sacct_table: str
+
+
+def slurm_intro_walkthrough(
+    script_text: str = EXAMPLE_JOB_SCRIPT,
+    *,
+    base_runtime: float = 60.0,
+    mem_demand: float = 0.2,
+    num_nodes: int = 2,
+    cores_per_node: int = 32,
+    competing_jobs: int = 0,
+) -> SlurmIntroReport:
+    """The ancillary module's exercise, end to end.
+
+    Parse a job script, submit it to a (possibly busy) cluster, run the
+    scheduler, and return the accounting view students would get from
+    ``sacct``.  ``competing_jobs`` node-exclusive jobs are queued first
+    so students can observe queue wait time.
+    """
+    check_positive("base_runtime", base_runtime)
+    sched = Scheduler(num_nodes=num_nodes, cores_per_node=cores_per_node)
+    for i in range(competing_jobs):
+        sched.submit(
+            parse_sbatch_script(
+                f"#SBATCH --job-name=busy{i}\n#SBATCH --nodes={num_nodes}\n"
+                "#SBATCH --ntasks=%d\n#SBATCH --time=00:02:00\n#SBATCH --exclusive\n"
+                % (num_nodes * cores_per_node)
+            ).to_spec(WorkloadProfile(base_runtime=100.0))
+        )
+    script = parse_sbatch_script(script_text)
+    spec = script.to_spec(
+        WorkloadProfile(base_runtime=base_runtime, mem_demand=mem_demand)
+    )
+    job_id = sched.submit(spec)
+    sched.run()
+    rec = sched.record(job_id)
+    return SlurmIntroReport(
+        job_id=job_id,
+        state=rec.state,
+        wait_time=rec.wait_time if rec.wait_time is not None else 0.0,
+        elapsed=rec.elapsed if rec.elapsed is not None else 0.0,
+        sacct_table=sched.sacct().render(),
+    )
+
+
+# -- MPI warmup exercises ------------------------------------------------------------
+
+
+def warmup_hello(comm) -> str:
+    """Warmup 1: every rank introduces itself."""
+    return f"Hello from rank {comm.rank} of {comm.size}"
+
+
+def warmup_rank_sum_p2p(comm) -> int | None:
+    """Warmup 2: sum all ranks *without* collectives — everyone sends
+    their rank to rank 0, which totals them (then shares via sends)."""
+    if comm.rank == 0:
+        total = 0
+        for _ in range(comm.size - 1):
+            total += comm.recv(source=smpi.ANY_SOURCE, tag=9)
+        for peer in range(1, comm.size):
+            comm.send(total, dest=peer, tag=10)
+        return total
+    comm.send(comm.rank, dest=0, tag=9)
+    return comm.recv(source=0, tag=10)
+
+
+def warmup_rank_sum_collective(comm) -> int:
+    """Warmup 3: the same sum as one ``MPI_Allreduce`` — students compare
+    the code (and traced message counts) against warmup 2."""
+    return comm.allreduce(comm.rank, op=smpi.SUM)
+
+
+def warmup_broadcast_chain(comm, value: float = 3.14) -> float:
+    """Warmup 4: broadcast implemented as a relay chain of sends, then
+    checked against the real ``MPI_Bcast``."""
+    if comm.size == 1:
+        return value
+    if comm.rank == 0:
+        comm.send(value, dest=1, tag=11)
+        got = value
+    else:
+        got = comm.recv(source=comm.rank - 1, tag=11)
+        if comm.rank < comm.size - 1:
+            comm.send(got, dest=comm.rank + 1, tag=11)
+    official = comm.bcast(value if comm.rank == 0 else None, root=0)
+    assert got == official
+    return got
+
+
+def warmup_average(comm, local_values: np.ndarray | None = None, seed=0) -> float:
+    """Warmup 5: global mean of distributed data via two reductions."""
+    if local_values is None:
+        rng = np.random.default_rng(seed + comm.rank)
+        local_values = rng.random(100)
+    local_sum = float(np.sum(local_values))
+    local_count = int(len(local_values))
+    total = comm.allreduce(local_sum, op=smpi.SUM)
+    count = comm.allreduce(local_count, op=smpi.SUM)
+    return total / count

@@ -1,0 +1,137 @@
+"""Module metadata and shared result types.
+
+:data:`MODULES` is the machine-readable index of the five modules — their
+titles, activities and topics as the paper states them — used by the
+outcomes package to cross-check Tables I and II against the actual
+implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Activity:
+    """One scaffolded activity within a module."""
+
+    number: int
+    title: str
+    summary: str
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """Metadata for one pedagogic module (Section III of the paper)."""
+
+    number: int
+    title: str
+    application_motivation: str
+    topics: tuple[str, ...]
+    activities: tuple[Activity, ...] = field(default_factory=tuple)
+
+
+MODULES: tuple[ModuleInfo, ...] = (
+    ModuleInfo(
+        number=1,
+        title="MPI Communication",
+        application_motivation=(
+            "Foundations: point-to-point message passing, blocking vs "
+            "non-blocking semantics, and how blocking sends deadlock."
+        ),
+        topics=("communication patterns", "blocking/non-blocking", "deadlock"),
+        activities=(
+            Activity(1, "Ping-pong communication", "two ranks bounce a message"),
+            Activity(2, "Communication in a ring", "each rank forwards to its neighbour"),
+            Activity(
+                3,
+                "Random communication",
+                "receive from unknown senders, with and without MPI_ANY_SOURCE",
+            ),
+        ),
+    ),
+    ModuleInfo(
+        number=2,
+        title="Distance Matrix",
+        application_motivation=(
+            "Pairwise distances underlie DBSCAN, k-NN search and database "
+            "joins; the module computes the NxN matrix on 90-dimensional data."
+        ),
+        topics=("tiling", "locality", "cache misses", "compute-bound scaling"),
+        activities=(
+            Activity(1, "Row-wise distance matrix", "scatter rows, stream all points"),
+            Activity(2, "Tiled distance matrix", "block the inner loop for locality"),
+            Activity(3, "Measure cache misses", "compare traversals with a perf tool"),
+        ),
+    ),
+    ModuleInfo(
+        number=3,
+        title="Distribution Sort",
+        application_motivation=(
+            "Sorting is a core database/scientific subroutine; a bucket sort "
+            "maps naturally onto distributed memory."
+        ),
+        topics=("load imbalance", "data-dependent workloads", "memory-bound scaling"),
+        activities=(
+            Activity(1, "Uniform data, equal-width buckets", "balanced by luck"),
+            Activity(2, "Exponential data, equal-width buckets", "skew breaks balance"),
+            Activity(3, "Histogram-based buckets", "equalize bucket sizes"),
+        ),
+    ),
+    ModuleInfo(
+        number=4,
+        title="Range Queries",
+        application_motivation=(
+            "Range queries over feature vectors (e.g. asteroids by light-curve "
+            "amplitude and rotation period) drive database and science workflows."
+        ),
+        topics=(
+            "indexing",
+            "efficiency vs scalability",
+            "memory bandwidth",
+            "resource allocation",
+        ),
+        activities=(
+            Activity(1, "Brute-force queries", "no index; strong scaling study"),
+            Activity(2, "R-tree queries", "prune with the supplied index"),
+            Activity(3, "Resource-allocation experiment", "vary nodes and placement"),
+        ),
+    ),
+    ModuleInfo(
+        number=5,
+        title="k-means Clustering",
+        application_motivation=(
+            "The most popular clustering algorithm; alternating compute and "
+            "communication phases whose balance depends on k."
+        ),
+        topics=("synchronous iteration", "communication volume", "compute/comm balance"),
+        activities=(
+            Activity(1, "Explicit assignment communication", "ship every label"),
+            Activity(2, "Weighted-means communication", "ship k partial sums"),
+            Activity(3, "Vary k", "find the compute/communication crossover"),
+        ),
+    ),
+)
+
+
+def module_info(number: int) -> ModuleInfo:
+    """Look up a module by its 1-based number (paper modules and the
+    future-work extension modules alike)."""
+    for mod in MODULES + extension_modules():
+        if mod.number == number:
+            return mod
+    raise ValidationError(f"no module numbered {number}")
+
+
+def extension_modules() -> tuple[ModuleInfo, ...]:
+    """The future-work extension modules (Section V of the paper).
+
+    Kept separate from :data:`MODULES` so Table I/II verification stays
+    scoped to what the paper published.
+    """
+    from repro.modules.module6_overlap import MODULE6_INFO
+    from repro.modules.module7_topk import MODULE7_INFO
+
+    return (MODULE6_INFO, MODULE7_INFO)

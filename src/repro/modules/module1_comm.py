@@ -1,0 +1,294 @@
+"""Module 1 — MPI Communication.
+
+Canonical solutions to the three activities (ping-pong, ring, random
+communication) plus the deadlock demonstration the module's discussion of
+blocking semantics builds on.  All functions take a
+:class:`~repro.smpi.communicator.Comm` as their first argument so they
+run under :func:`repro.smpi.run` exactly like student MPI programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import smpi
+from repro.errors import DeadlockError, ValidationError
+from repro.util.rng import spawn_rng
+from repro.util.validation import check_positive
+
+
+# -- Activity 1: ping-pong ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PingPongResult:
+    """Per-message-size timing from a ping-pong run (virtual seconds)."""
+
+    nbytes: int
+    iterations: int
+    total_time: float
+
+    @property
+    def round_trip_time(self) -> float:
+        return self.total_time / self.iterations
+
+    @property
+    def one_way_time(self) -> float:
+        return self.round_trip_time / 2.0
+
+    @property
+    def bandwidth(self) -> float:
+        """Achieved one-way bandwidth in bytes/second."""
+        return self.nbytes / self.one_way_time
+
+
+def ping_pong(comm, nbytes: int = 8, iterations: int = 10) -> PingPongResult | None:
+    """Bounce an ``nbytes`` message between ranks 0 and 1.
+
+    Ranks other than 0 and 1 return ``None`` immediately (the activity
+    runs on two ranks but tolerates a bigger world).  Rank 0 returns the
+    timing result.
+    """
+    check_positive("nbytes", nbytes)
+    check_positive("iterations", iterations)
+    if comm.size < 2:
+        raise ValidationError("ping-pong needs at least 2 ranks")
+    if comm.rank > 1:
+        return None
+    payload = np.zeros(max(1, nbytes // 8))
+    t0 = comm.wtime()
+    for _ in range(iterations):
+        if comm.rank == 0:
+            comm.send(payload, dest=1, tag=0)
+            payload = comm.recv(source=1, tag=1)
+        else:
+            payload = comm.recv(source=0, tag=0)
+            comm.send(payload, dest=0, tag=1)
+    if comm.rank != 0:
+        return None
+    return PingPongResult(
+        nbytes=nbytes, iterations=iterations, total_time=comm.wtime() - t0
+    )
+
+
+def ping_pong_sweep(
+    nprocs: int = 2, sizes: tuple[int, ...] = (8, 64, 512, 4096, 32768, 262144), **kwargs
+) -> list[PingPongResult]:
+    """Run ping-pong over a sweep of message sizes; returns rank-0 results.
+
+    The latency/bandwidth curve this produces is the classic first plot
+    of an MPI course: flat (latency-dominated) for small messages, linear
+    (bandwidth-dominated) for large ones.
+    """
+    out = []
+    for nbytes in sizes:
+        results = smpi.run(nprocs, ping_pong, nbytes, 10, **kwargs)
+        out.append(results[0])
+    return out
+
+
+@dataclass(frozen=True)
+class HockneyFit:
+    """Least-squares fit of the latency/bandwidth model to ping-pong data."""
+
+    alpha: float  # per-message latency (s)
+    beta: float  # per-byte time (s/B)
+
+    @property
+    def bandwidth(self) -> float:
+        """Asymptotic bandwidth, 1/beta (B/s)."""
+        return 1.0 / self.beta
+
+    @property
+    def half_bandwidth_size(self) -> float:
+        """n_1/2: the message size reaching half the asymptotic
+        bandwidth (= alpha / beta) — the classic summary statistic."""
+        return self.alpha / self.beta
+
+
+def fit_hockney(results: list[PingPongResult]) -> HockneyFit:
+    """Recover ``alpha`` and ``beta`` from a ping-pong sweep.
+
+    The module's analysis step: one-way time is modelled as
+    ``t(n) = alpha + n * beta`` and fit by least squares over the sweep.
+    On the simulator the fit recovers the configured network parameters
+    (a built-in sanity check of the whole measurement pipeline); on a
+    real cluster it characterizes the interconnect.
+    """
+    if len(results) < 2:
+        raise ValidationError("need at least two message sizes to fit")
+    sizes = np.array([r.nbytes for r in results], dtype=np.float64)
+    times = np.array([r.one_way_time for r in results], dtype=np.float64)
+    design = np.column_stack([np.ones_like(sizes), sizes])
+    (alpha, beta), *_ = np.linalg.lstsq(design, times, rcond=None)
+    if beta <= 0 or alpha < 0:
+        raise ValidationError(
+            f"degenerate fit (alpha={alpha:.3g}, beta={beta:.3g}); "
+            "widen the size sweep"
+        )
+    return HockneyFit(alpha=float(alpha), beta=float(beta))
+
+
+# -- Activity 2: ring -----------------------------------------------------------
+
+
+def ring_exchange(comm, value=None):
+    """Safe ring: non-blocking send right, blocking receive from left.
+
+    Returns the left neighbour's value.  This is the canonical correct
+    solution; compare :func:`ring_blocking_unsafe`.
+    """
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    payload = comm.rank if value is None else value
+    req = comm.isend(payload, dest=right, tag=0)
+    received = comm.recv(source=left, tag=0)
+    req.wait()
+    return received
+
+
+def ring_blocking_unsafe(comm, payload_nbytes: int = 8):
+    """The naive ring every student writes first: blocking send, then
+    receive.  Works while messages are eager; **deadlocks** (and is
+    diagnosed by the simulator) once ``payload_nbytes`` crosses the
+    rendezvous threshold — learning outcome 3."""
+    check_positive("payload_nbytes", payload_nbytes)
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    payload = np.full(max(1, payload_nbytes // 8), float(comm.rank))
+    comm.send(payload, dest=right, tag=0)
+    received = comm.recv(source=left, tag=0)
+    return float(received[0])
+
+
+def ring_odd_even(comm, payload_nbytes: int = 8):
+    """The classic fix: even ranks send first, odd ranks receive first.
+
+    Correct for any message size (no cyclic wait is possible)."""
+    check_positive("payload_nbytes", payload_nbytes)
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    payload = np.full(max(1, payload_nbytes // 8), float(comm.rank))
+    if comm.rank % 2 == 0:
+        comm.send(payload, dest=right, tag=0)
+        received = comm.recv(source=left, tag=0)
+    else:
+        received = comm.recv(source=left, tag=0)
+        comm.send(payload, dest=right, tag=0)
+    return float(received[0])
+
+
+@dataclass(frozen=True)
+class DeadlockReport:
+    """Outcome of :func:`demonstrate_ring_deadlock`."""
+
+    nprocs: int
+    payload_nbytes: int
+    deadlocked: bool
+    detail: str
+
+
+def demonstrate_ring_deadlock(
+    nprocs: int = 4, payload_nbytes: int = 100_000, **kwargs
+) -> DeadlockReport:
+    """Run the unsafe ring and report whether it deadlocked.
+
+    Large payloads (rendezvous protocol) deadlock; small ones (eager)
+    complete — the size-dependence is the lesson.
+    """
+    try:
+        smpi.run(nprocs, ring_blocking_unsafe, payload_nbytes, **kwargs)
+    except DeadlockError as exc:
+        return DeadlockReport(nprocs, payload_nbytes, True, str(exc))
+    return DeadlockReport(
+        nprocs, payload_nbytes, False, "completed (messages fit the eager protocol)"
+    )
+
+
+# -- Activity 3: random communication ------------------------------------------
+
+
+def _random_destinations(comm, n_messages: int, seed) -> np.ndarray:
+    rng = spawn_rng(seed, "module1-random", comm.rank)
+    others = np.array([r for r in range(comm.size) if r != comm.rank])
+    return rng.choice(others, size=n_messages)
+
+
+def _exchange_counts_p2p(comm, counts: np.ndarray) -> list[int]:
+    """All-to-all of per-destination message counts using only
+    ``isend``/``recv`` — Module 1 has not introduced collectives yet."""
+    reqs = [
+        comm.isend(int(counts[peer]), dest=peer, tag=0)
+        for peer in range(comm.size)
+        if peer != comm.rank
+    ]
+    incoming = [0] * comm.size
+    incoming[comm.rank] = int(counts[comm.rank])
+    for peer in range(comm.size):
+        if peer != comm.rank:
+            incoming[peer] = comm.recv(source=peer, tag=0)
+    smpi.waitall(reqs)
+    return incoming
+
+
+def random_communication_two_phase(comm, n_messages: int = 8, seed=0) -> float:
+    """Random communication **without** ``MPI_ANY_SOURCE``.
+
+    The module's challenge: how do you receive from senders you cannot
+    predict?  The canonical answer is a counts exchange — every rank
+    tells every other how many messages to expect (an all-to-all of
+    counts) — after which all receives use explicit sources.
+
+    Returns the sum of received payloads (deterministic per seed, so the
+    two variants can be checked against each other).
+    """
+    check_positive("n_messages", n_messages)
+    if comm.size < 2:
+        raise ValidationError("random communication needs at least 2 ranks")
+    dests = _random_destinations(comm, n_messages, seed)
+    counts = np.bincount(dests, minlength=comm.size)
+    # Phase 1: exchange counts so every rank knows its senders.  Done
+    # with point-to-point messages — the only machinery Module 1 has
+    # introduced at this stage.
+    incoming = _exchange_counts_p2p(comm, counts)
+    # Phase 2: send payloads, then receive from each known source.
+    reqs = [
+        comm.isend(float(comm.rank * 1000 + i), dest=int(d), tag=1)
+        for i, d in enumerate(dests)
+    ]
+    total = 0.0
+    for source, how_many in enumerate(incoming):
+        for _ in range(how_many):
+            total += comm.recv(source=source, tag=1)
+    smpi.waitall(reqs)
+    return total
+
+
+def random_communication_any_source(comm, n_messages: int = 8, seed=0) -> float:
+    """Random communication **with** ``MPI_ANY_SOURCE``.
+
+    Only the total expected message count is needed (one all-to-all of
+    counts could even be replaced by a reduce-scatter; we keep the same
+    counts exchange so the comparison isolates the receive loop).  The
+    receive loop is simpler and insensitive to arrival order — the
+    programmability/efficiency trade-off the module asks students to
+    reflect on.
+    """
+    check_positive("n_messages", n_messages)
+    if comm.size < 2:
+        raise ValidationError("random communication needs at least 2 ranks")
+    dests = _random_destinations(comm, n_messages, seed)
+    counts = np.bincount(dests, minlength=comm.size)
+    incoming = _exchange_counts_p2p(comm, counts)
+    expected = sum(incoming) - int(counts[comm.rank])
+    reqs = [
+        comm.isend(float(comm.rank * 1000 + i), dest=int(d), tag=1)
+        for i, d in enumerate(dests)
+    ]
+    total = 0.0
+    for _ in range(expected):
+        total += comm.recv(source=smpi.ANY_SOURCE, tag=1)
+    smpi.waitall(reqs)
+    return total

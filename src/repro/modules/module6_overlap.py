@@ -1,0 +1,193 @@
+"""Extension Module 6 — Latency Hiding (the paper's future work, item i).
+
+The paper's future-work list opens with *"modules that capture excluded
+concepts, such as increasing focus on communication and latency
+hiding"*.  This module is that: a 1-d iterative stencil (Jacobi
+smoothing) over a block-distributed vector whose halo exchange is
+implemented twice —
+
+* **blocking**: exchange halos, *then* compute (communication and
+  computation serialize), and
+* **overlapped**: post ``irecv``/``isend``, compute the halo-independent
+  *interior* while messages fly, wait, then finish the boundary cells.
+
+Both variants produce bit-identical numerics; under the virtual-time
+model the overlapped version's waits complete "for free" whenever the
+interior computation outlasts the message flight time, so students can
+measure exactly how much latency was hidden — and discover that overlap
+only pays when there is enough independent work to hide behind
+(`overlap_benefit` → 1.0 as compute grows, → 0 for tiny interiors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import smpi
+from repro.errors import ValidationError
+from repro.modules.base import Activity, ModuleInfo
+from repro.util.rng import spawn_rng
+from repro.util.validation import check_positive
+
+#: flops per updated cell (one add, one multiply).
+STENCIL_FLOPS_PER_CELL = 2.0
+#: bytes touched per updated cell (read two neighbours, write one).
+STENCIL_BYTES_PER_CELL = 24.0
+
+MODULE6_INFO = ModuleInfo(
+    number=6,
+    title="Latency Hiding (extension)",
+    application_motivation=(
+        "Halo exchanges dominate stencil/PDE codes; overlapping them with "
+        "interior computation is the core latency-hiding pattern."
+    ),
+    topics=("non-blocking communication", "overlap", "halo exchange"),
+    activities=(
+        Activity(1, "Blocking halo exchange", "communicate, then compute"),
+        Activity(2, "Overlapped halo exchange", "hide messages behind the interior"),
+        Activity(3, "Overlap limits", "shrink the interior until overlap stops paying"),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class StencilResult:
+    """Per-rank outcome of a stencil run."""
+
+    local_values: np.ndarray
+    iterations: int
+    residual: float
+    comm_time: float
+    compute_time: float
+    variant: str
+
+    @property
+    def total_time(self) -> float:
+        return self.comm_time + self.compute_time
+
+
+def _initial_field(comm, n_local: int, seed) -> np.ndarray:
+    rng = spawn_rng(seed, "stencil", comm.rank)
+    return rng.random(n_local)
+
+
+def _charge_update(comm, cells: int) -> None:
+    comm.compute(
+        flops=cells * STENCIL_FLOPS_PER_CELL,
+        nbytes=cells * STENCIL_BYTES_PER_CELL,
+    )
+
+
+def _jacobi_step(u: np.ndarray) -> np.ndarray:
+    """One smoothing update over the padded array's interior."""
+    return 0.5 * (u[:-2] + u[2:])
+
+
+def stencil_blocking(
+    comm, *, n_local: int = 10_000, iterations: int = 20, halo: int = 1, seed=0
+) -> StencilResult:
+    """Activity 1: exchange halos with blocking sendrecv, then update."""
+    check_positive("n_local", n_local)
+    check_positive("iterations", iterations)
+    check_positive("halo", halo)
+    if n_local < 2 * halo:
+        raise ValidationError(f"n_local={n_local} too small for halo={halo}")
+    left = (comm.rank - 1) % comm.size
+    right = (comm.rank + 1) % comm.size
+    u = _initial_field(comm, n_local, seed)
+    comm_time = 0.0
+    compute_time = 0.0
+    for _ in range(iterations):
+        t0 = comm.wtime()
+        from_left = comm.sendrecv(u[-halo:].copy(), dest=right, sendtag=1,
+                                  source=left, recvtag=1)
+        from_right = comm.sendrecv(u[:halo].copy(), dest=left, sendtag=2,
+                                   source=right, recvtag=2)
+        t1 = comm.wtime()
+        padded = np.concatenate([from_left[-1:], u, from_right[:1]])
+        u = _jacobi_step(padded)
+        _charge_update(comm, n_local)
+        t2 = comm.wtime()
+        comm_time += t1 - t0
+        compute_time += t2 - t1
+    residual = comm.allreduce(float(np.abs(np.diff(u)).max()), op=smpi.MAX)
+    return StencilResult(u, iterations, residual, comm_time, compute_time, "blocking")
+
+
+def stencil_overlapped(
+    comm, *, n_local: int = 10_000, iterations: int = 20, halo: int = 1, seed=0
+) -> StencilResult:
+    """Activity 2: same numerics, halos hidden behind the interior.
+
+    Interior cells (all but the first and last) depend only on local
+    data, so they update while the halo messages are in flight; only the
+    two boundary cells wait for the neighbours.
+    """
+    check_positive("n_local", n_local)
+    check_positive("iterations", iterations)
+    check_positive("halo", halo)
+    if n_local < 2 * halo + 2:
+        raise ValidationError(f"n_local={n_local} too small for overlapped halo={halo}")
+    left = (comm.rank - 1) % comm.size
+    right = (comm.rank + 1) % comm.size
+    u = _initial_field(comm, n_local, seed)
+    comm_time = 0.0
+    compute_time = 0.0
+    for _ in range(iterations):
+        t0 = comm.wtime()
+        recv_left = comm.irecv(source=left, tag=1)
+        recv_right = comm.irecv(source=right, tag=2)
+        send_right = comm.isend(u[-halo:].copy(), dest=right, tag=1)
+        send_left = comm.isend(u[:halo].copy(), dest=left, tag=2)
+        t1 = comm.wtime()
+        # Interior update overlaps the in-flight halos.
+        interior = _jacobi_step(u)  # cells 1..n-2 of the new array
+        _charge_update(comm, n_local - 2)
+        t2 = comm.wtime()
+        from_left = recv_left.wait()
+        from_right = recv_right.wait()
+        send_right.wait()
+        send_left.wait()
+        t3 = comm.wtime()
+        new = np.empty_like(u)
+        new[1:-1] = interior
+        new[0] = 0.5 * (from_left[-1] + u[1])
+        new[-1] = 0.5 * (u[-2] + from_right[0])
+        _charge_update(comm, 2)
+        t4 = comm.wtime()
+        u = new
+        comm_time += (t1 - t0) + (t3 - t2)
+        compute_time += (t2 - t1) + (t4 - t3)
+    residual = comm.allreduce(float(np.abs(np.diff(u)).max()), op=smpi.MAX)
+    return StencilResult(u, iterations, residual, comm_time, compute_time, "overlapped")
+
+
+def overlap_benefit(
+    nprocs: int = 8,
+    *,
+    n_local: int = 10_000,
+    iterations: int = 20,
+    halo: int = 256,
+    **launch_kwargs,
+) -> dict[str, float]:
+    """Run both variants; returns their makespans and the speedup.
+
+    ``halo`` scales the message size (wide halos model high-order
+    stencils), which is the knob activity 3 sweeps to find where overlap
+    stops paying.
+    """
+    out_b = smpi.launch(
+        nprocs, stencil_blocking, n_local=n_local, iterations=iterations,
+        halo=halo, **launch_kwargs,
+    )
+    out_o = smpi.launch(
+        nprocs, stencil_overlapped, n_local=n_local, iterations=iterations,
+        halo=halo, **launch_kwargs,
+    )
+    return {
+        "blocking": out_b.elapsed,
+        "overlapped": out_o.elapsed,
+        "speedup": out_b.elapsed / out_o.elapsed,
+    }

@@ -1,0 +1,177 @@
+"""Extension Module 7 — Distributed Top-k Queries (future work, item ii).
+
+The paper's future work calls for *"modules with other data-intensive
+algorithms so students have some choice in their assignments"*, and its
+Module 3 motivation already cites top-k database queries (Ilyas et al.).
+This module gives that choice: find the k largest values of a dataset
+block-distributed over the ranks, two ways —
+
+* **gather-candidates** (activity 1): every rank sends its local top-k
+  to the root, which merges; simple, but the communication volume is
+  ``p·k`` regardless of the data.
+* **threshold pruning** (activity 2): first agree on a global threshold
+  (the largest of the ranks' local k-th maxima, one ``MPI_Allreduce``),
+  then send only local values ≥ threshold.  At least one rank still
+  sends k values, but collectively the survivors can be far fewer —
+  a distributed version of classic top-k pruning.
+
+Students compare communication volumes and see a data-dependent
+trade-off (skewed data prunes dramatically; adversarially uniform data
+does not) — the same lesson as Module 3's histogram activity, now in a
+query-processing dress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import smpi
+from repro.errors import ValidationError
+from repro.modules.base import Activity, ModuleInfo
+from repro.util.rng import spawn_rng
+from repro.util.validation import check_positive
+
+#: charged flops per element for a selection pass (compare + move).
+SELECT_FLOPS_PER_ELEMENT = 4.0
+
+MODULE7_INFO = ModuleInfo(
+    number=7,
+    title="Distributed Top-k Queries (extension)",
+    application_motivation=(
+        "Top-k queries are a staple of database systems; distributing them "
+        "exposes the communication/pruning trade-off."
+    ),
+    topics=("selection", "pruning", "communication volume"),
+    activities=(
+        Activity(1, "Gather candidates", "every rank ships its local top-k"),
+        Activity(2, "Threshold pruning", "agree on a bound, ship only survivors"),
+        Activity(3, "Data sensitivity", "compare volumes across data distributions"),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """Per-rank outcome of one distributed top-k run."""
+
+    topk: np.ndarray | None  # root only; descending order
+    k: int
+    candidates_sent: int
+    strategy: str
+
+
+def local_topk(values: np.ndarray, k: int) -> np.ndarray:
+    """The k largest of ``values``, descending (``k > len`` returns all)."""
+    values = np.asarray(values, dtype=np.float64)
+    if k <= 0:
+        raise ValidationError(f"k must be positive, got {k}")
+    if k >= values.size:
+        return np.sort(values)[::-1]
+    part = np.partition(values, values.size - k)[values.size - k:]
+    return np.sort(part)[::-1]
+
+
+def _charge_selection(comm, n: int) -> None:
+    if n > 0:
+        comm.compute(flops=n * SELECT_FLOPS_PER_ELEMENT, nbytes=n * 8.0)
+
+
+def topk_gather(comm, local_values: np.ndarray, k: int) -> TopKResult:
+    """Activity 1: gather every rank's local top-k at the root."""
+    check_positive("k", k)
+    local_values = np.asarray(local_values, dtype=np.float64)
+    candidates = local_topk(local_values, k)
+    _charge_selection(comm, local_values.size)
+    gathered = comm.gather(candidates, root=0)
+    result = None
+    if comm.rank == 0:
+        merged = np.concatenate(gathered)
+        result = local_topk(merged, k)
+        _charge_selection(comm, merged.size)
+    return TopKResult(
+        topk=result, k=k, candidates_sent=int(candidates.size), strategy="gather"
+    )
+
+
+def topk_threshold(comm, local_values: np.ndarray, k: int) -> TopKResult:
+    """Activity 2: prune with a globally agreed threshold first.
+
+    The threshold is the *maximum*, over ranks holding at least k
+    values, of the rank's local k-th largest value: that rank alone has
+    k values ≥ the threshold, so the global top-k all lie at or above
+    it and only those survivors travel.  If no rank holds k values the
+    bound degenerates to −∞ (everything travels — correctly).
+    """
+    check_positive("k", k)
+    local_values = np.asarray(local_values, dtype=np.float64)
+    if local_values.size >= k:
+        kth = float(np.partition(local_values, local_values.size - k)[local_values.size - k])
+    else:
+        kth = -np.inf  # this rank cannot certify a bound
+    _charge_selection(comm, local_values.size)
+    threshold = comm.allreduce(kth, op=smpi.MAX)
+    survivors = local_values[local_values >= threshold]
+    _charge_selection(comm, local_values.size)
+    gathered = comm.gather(survivors, root=0)
+    result = None
+    if comm.rank == 0:
+        merged = np.concatenate(gathered)
+        if merged.size < k:
+            raise ValidationError(
+                "threshold pruning lost candidates — impossible unless the "
+                "dataset has fewer than k values"
+            )  # pragma: no cover - guarded by construction
+        result = local_topk(merged, k)
+        _charge_selection(comm, merged.size)
+    return TopKResult(
+        topk=result, k=k, candidates_sent=int(survivors.size), strategy="threshold"
+    )
+
+
+def topk_activity(
+    comm,
+    *,
+    n_per_rank: int = 20_000,
+    k: int = 32,
+    distribution: str = "lognormal",
+    strategy: str = "threshold",
+    seed=0,
+) -> TopKResult:
+    """One full activity run on generated data.
+
+    ``distribution``: ``"lognormal"`` (heavy upper tail — pruning wins
+    big), ``"uniform"`` (the adversarial case), or ``"exponential"``.
+    """
+    check_positive("n_per_rank", n_per_rank)
+    local = _generate(comm.rank, n_per_rank, distribution, seed)
+    if strategy == "gather":
+        return topk_gather(comm, local, k)
+    if strategy == "threshold":
+        return topk_threshold(comm, local, k)
+    raise ValidationError(f"unknown strategy {strategy!r}")
+
+
+def _generate(rank: int, n_per_rank: int, distribution: str, seed) -> np.ndarray:
+    """Per-rank data.  ``"rank_skewed"`` concentrates large values on the
+    highest rank (each rank's values scale by ``10^rank``) — the case
+    where threshold pruning collapses the exchange to exactly k values."""
+    rng = spawn_rng(seed, "topk", rank)
+    if distribution == "lognormal":
+        return rng.lognormal(mean=0.0, sigma=1.5, size=n_per_rank)
+    if distribution == "uniform":
+        return rng.random(n_per_rank)
+    if distribution == "exponential":
+        return rng.exponential(1.0, size=n_per_rank)
+    if distribution == "rank_skewed":
+        return rng.random(n_per_rank) * (10.0 ** rank)
+    raise ValidationError(f"unknown distribution {distribution!r}")
+
+
+def reference_topk(nprocs: int, n_per_rank: int, k: int, distribution: str, seed) -> np.ndarray:
+    """Sequential ground truth: regenerate every rank's data and sort."""
+    values = [
+        _generate(rank, n_per_rank, distribution, seed) for rank in range(nprocs)
+    ]
+    return local_topk(np.concatenate(values), k)

@@ -1,0 +1,250 @@
+"""A catalog of classic student bugs, each diagnosed by the simulator.
+
+Module 1's learning outcome 3 ("examine how blocking message passing may
+lead to deadlock") generalizes: the most valuable property of a teaching
+runtime is that the *classic mistakes fail loudly with an explanation*
+instead of hanging a cluster job until the time limit kills it.  Each
+:class:`Pitfall` here is a canonical broken solution paired with the
+diagnosis the runtime produces; ``demonstrate`` runs it and verifies the
+failure mode.  Instructors can point students at any of these by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro import smpi
+from repro.errors import (
+    DeadlockError,
+    InvalidRankError,
+    SMPIError,
+    TruncationError,
+    ValidationError,
+)
+
+
+@dataclass(frozen=True)
+class Pitfall:
+    """One classic bug: a runner plus its expected diagnosis."""
+
+    name: str
+    description: str
+    lesson: str
+    runner: Callable[[], None]
+    expected_error: type[Exception]
+    error_must_mention: str = ""
+
+
+@dataclass(frozen=True)
+class PitfallReport:
+    """What happened when a pitfall was demonstrated."""
+
+    pitfall: Pitfall
+    diagnosed: bool
+    message: str
+
+
+def _ring_of_blocking_sends() -> None:
+    def fn(comm):
+        right = (comm.rank + 1) % comm.size
+        comm.send(np.zeros(50_000), dest=right)
+        comm.recv(source=(comm.rank - 1) % comm.size)
+
+    smpi.run(4, fn)
+
+
+def _mutual_blocking_sends() -> None:
+    def fn(comm):
+        other = 1 - comm.rank
+        comm.send(np.zeros(50_000), dest=other)  # both send first
+        comm.recv(source=other)
+
+    smpi.run(2, fn)
+
+
+def _recv_from_finished_rank() -> None:
+    def fn(comm):
+        if comm.rank == 0:
+            return  # forgot to send
+        comm.recv(source=0)
+
+    smpi.run(2, fn)
+
+
+def _mismatched_collectives() -> None:
+    def fn(comm):
+        if comm.rank == 0:
+            comm.bcast("x", root=0)
+        else:
+            comm.barrier()
+
+    smpi.run(2, fn)
+
+
+def _disagreeing_roots() -> None:
+    def fn(comm):
+        comm.bcast("x", root=comm.rank)  # everyone thinks they are root
+
+    smpi.run(2, fn)
+
+
+def _collective_skipped_by_one_rank() -> None:
+    def fn(comm):
+        if comm.rank == 0:
+            return
+        comm.allreduce(1, op=smpi.SUM)
+
+    smpi.run(3, fn)
+
+
+def _tag_confusion() -> None:
+    def fn(comm):
+        if comm.rank == 0:
+            comm.ssend("data", dest=1, tag=7)
+        else:
+            comm.recv(source=0, tag=8)  # wrong tag
+
+    smpi.run(2, fn)
+
+
+def _buffer_too_small() -> None:
+    def fn(comm):
+        if comm.rank == 0:
+            comm.Send(np.zeros(100), dest=1)
+        else:
+            buf = np.empty(10)
+            comm.Recv(buf, source=0)
+
+    smpi.run(2, fn)
+
+
+def _rank_out_of_range() -> None:
+    def fn(comm):
+        comm.send("x", dest=comm.size)  # off by one
+
+    smpi.run(2, fn)
+
+
+def _scatter_wrong_length() -> None:
+    def fn(comm):
+        comm.scatter([1, 2, 3] if comm.rank == 0 else None, root=0)
+
+    smpi.run(2, fn)
+
+
+PITFALLS: tuple[Pitfall, ...] = (
+    Pitfall(
+        name="ring-of-blocking-sends",
+        description="Every rank MPI_Sends to its right neighbour before "
+        "anyone receives; messages exceed the eager threshold.",
+        lesson="Standard-mode sends may block; order sends/receives or go "
+        "non-blocking.",
+        runner=_ring_of_blocking_sends,
+        expected_error=DeadlockError,
+        error_must_mention="rendezvous",
+    ),
+    Pitfall(
+        name="mutual-blocking-sends",
+        description="Two ranks exchange buffers by both sending first.",
+        lesson="The textbook exchange deadlock; use MPI_Sendrecv.",
+        runner=_mutual_blocking_sends,
+        expected_error=DeadlockError,
+    ),
+    Pitfall(
+        name="recv-from-finished-rank",
+        description="A receive posted for a rank whose program already "
+        "returned without sending.",
+        lesson="Match every receive with a send on the other side.",
+        runner=_recv_from_finished_rank,
+        expected_error=DeadlockError,
+        error_must_mention="rank 1",
+    ),
+    Pitfall(
+        name="mismatched-collectives",
+        description="Rank 0 calls MPI_Bcast while rank 1 calls MPI_Barrier.",
+        lesson="Collectives must be called by every rank in the same order.",
+        runner=_mismatched_collectives,
+        expected_error=SMPIError,
+        error_must_mention="mismatch",
+    ),
+    Pitfall(
+        name="disagreeing-roots",
+        description="Each rank passes its own rank as the bcast root.",
+        lesson="The root argument must be the same value everywhere.",
+        runner=_disagreeing_roots,
+        expected_error=SMPIError,
+        error_must_mention="root",
+    ),
+    Pitfall(
+        name="collective-skipped",
+        description="One rank returns early and never joins the allreduce.",
+        lesson="Early exits (error paths!) must still reach collectives.",
+        runner=_collective_skipped_by_one_rank,
+        expected_error=DeadlockError,
+        error_must_mention="MPI_Allreduce",
+    ),
+    Pitfall(
+        name="tag-confusion",
+        description="Sender uses tag 7; receiver waits on tag 8.",
+        lesson="Tags are part of matching; mismatches wait forever.",
+        runner=_tag_confusion,
+        expected_error=DeadlockError,
+    ),
+    Pitfall(
+        name="buffer-too-small",
+        description="An 800-byte message received into an 80-byte buffer.",
+        lesson="MPI truncates with an error, not silently.",
+        runner=_buffer_too_small,
+        expected_error=TruncationError,
+    ),
+    Pitfall(
+        name="rank-out-of-range",
+        description="Sending to rank `size` (an off-by-one).",
+        lesson="Ranks run 0..size-1.",
+        runner=_rank_out_of_range,
+        expected_error=InvalidRankError,
+    ),
+    Pitfall(
+        name="scatter-wrong-length",
+        description="The scatter root supplies 3 items for 2 ranks.",
+        lesson="Scatter needs exactly one item per rank.",
+        runner=_scatter_wrong_length,
+        expected_error=SMPIError,
+        error_must_mention="exactly",
+    ),
+)
+
+
+def pitfall(name: str) -> Pitfall:
+    """Look up a pitfall by name."""
+    for p in PITFALLS:
+        if p.name == name:
+            return p
+    raise ValidationError(
+        f"unknown pitfall {name!r}; known: {[p.name for p in PITFALLS]}"
+    )
+
+
+def demonstrate(name: str) -> PitfallReport:
+    """Run one pitfall; verify it fails the documented way."""
+    p = pitfall(name)
+    try:
+        p.runner()
+    except p.expected_error as exc:
+        message = str(exc)
+        diagnosed = p.error_must_mention in message
+        return PitfallReport(pitfall=p, diagnosed=diagnosed, message=message)
+    except Exception as exc:  # noqa: BLE001 - report the surprise
+        return PitfallReport(
+            pitfall=p, diagnosed=False,
+            message=f"unexpected {type(exc).__name__}: {exc}",
+        )
+    return PitfallReport(pitfall=p, diagnosed=False, message="completed without error?!")
+
+
+def demonstrate_all() -> list[PitfallReport]:
+    """Run the whole catalog; every entry should come back diagnosed."""
+    return [demonstrate(p.name) for p in PITFALLS]

@@ -1,0 +1,40 @@
+"""Tables I and II as structured data, verified against the code.
+
+Table I (learning outcomes × modules, Bloom levels) and Table II (MPI
+primitives × modules, required/optional) are transcribed from the paper;
+:func:`verify_primitive_usage` runs each module's canonical solution
+under the smpi tracer and checks that the implementation really uses
+what Table II says it must — the reproduction's ground truth for T2.
+"""
+
+from repro.outcomes.bloom import BloomLevel
+from repro.outcomes.matrix import (
+    LearningOutcome,
+    LEARNING_OUTCOMES,
+    outcomes_for_module,
+    render_table1,
+)
+from repro.outcomes.primitives import (
+    PrimitiveRequirement,
+    PRIMITIVE_MATRIX,
+    requirements_for_module,
+    render_table2,
+    canonical_primitives_used,
+    verify_primitive_usage,
+    ModulePrimitiveReport,
+)
+
+__all__ = [
+    "BloomLevel",
+    "LearningOutcome",
+    "LEARNING_OUTCOMES",
+    "outcomes_for_module",
+    "render_table1",
+    "PrimitiveRequirement",
+    "PRIMITIVE_MATRIX",
+    "requirements_for_module",
+    "render_table2",
+    "canonical_primitives_used",
+    "verify_primitive_usage",
+    "ModulePrimitiveReport",
+]

@@ -1,0 +1,35 @@
+"""Bloom taxonomy levels used by Table I.
+
+The paper classifies each learning outcome into one of three levels of
+Bloom's taxonomy (Bloom 1956), marking "the transition from concrete to
+abstract concepts": Apply (A), Evaluate (E), Create (C).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ValidationError
+
+
+class BloomLevel(enum.Enum):
+    """The three Bloom levels Table I uses, with their table codes."""
+
+    APPLY = "A"
+    EVALUATE = "E"
+    CREATE = "C"
+
+    @classmethod
+    def from_code(cls, code: str) -> "BloomLevel":
+        for level in cls:
+            if level.value == code:
+                return level
+        raise ValidationError(f"unknown Bloom code {code!r}; expected A/E/C")
+
+    @property
+    def rank(self) -> int:
+        """Abstraction ordering: Apply < Evaluate < Create."""
+        return {"A": 0, "E": 1, "C": 2}[self.value]
+
+    def __lt__(self, other: "BloomLevel") -> bool:
+        return self.rank < other.rank

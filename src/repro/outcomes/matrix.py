@@ -1,0 +1,124 @@
+"""Table I — student learning outcomes per module, with Bloom levels.
+
+Transcribed verbatim from the paper.  ``levels`` maps module number →
+Bloom level; absence means the outcome is not targeted by that module
+("-" in the table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.outcomes.bloom import BloomLevel
+from repro.util.tables import TextTable
+
+
+@dataclass(frozen=True)
+class LearningOutcome:
+    """One row of Table I."""
+
+    number: int
+    description: str
+    levels: dict[int, BloomLevel]
+
+    def level_for(self, module: int) -> BloomLevel | None:
+        return self.levels.get(module)
+
+
+def _lo(number: int, description: str, **codes: str) -> LearningOutcome:
+    levels = {
+        int(key.lstrip("m")): BloomLevel.from_code(code) for key, code in codes.items()
+    }
+    return LearningOutcome(number=number, description=description, levels=levels)
+
+
+LEARNING_OUTCOMES: tuple[LearningOutcome, ...] = (
+    _lo(1, "Implement several canonical MPI communication patterns.", m1="A"),
+    _lo(2, "Understand blocking and non-blocking message passing.", m1="A"),
+    _lo(3, "Examine how blocking message passing may lead to deadlock.", m1="A"),
+    _lo(
+        4,
+        "Understand MPI collective communication primitives.",
+        m2="A", m3="E", m4="E", m5="E",
+    ),
+    _lo(
+        5,
+        "Understand how data locality can be exploited to improve performance "
+        "through the use of tiling.",
+        m2="E",
+    ),
+    _lo(
+        6,
+        "Understand the performance trade-offs between small and large tile sizes.",
+        m2="E",
+    ),
+    _lo(7, "Utilize a performance tool to measure cache misses.", m2="A"),
+    _lo(
+        8,
+        "Understand how various algorithm components scale as a function of the "
+        "number of process ranks.",
+        m2="E", m3="E", m4="E", m5="C",
+    ),
+    _lo(
+        9,
+        "Understand how different input data distributions may impact load "
+        "balancing.",
+        m3="E",
+    ),
+    _lo(
+        10,
+        "Discover how compute-bound and memory-bound algorithms vary in their "
+        "scalability.",
+        m2="E", m3="E", m4="E", m5="E",
+    ),
+    _lo(
+        11,
+        "Understand common patterns in distributed-memory programs (e.g., "
+        "alternating phases of computation and communication).",
+        m1="A", m2="A", m3="E", m4="A", m5="C",
+    ),
+    _lo(
+        12,
+        "Reason about performance based on algorithm characteristics (i.e., "
+        "beyond asymptotic performance).",
+        m3="E", m4="E", m5="E",
+    ),
+    _lo(
+        13,
+        "Reason about performance based on communication patterns and volumes.",
+        m3="E", m5="E",
+    ),
+    _lo(14, "Reason about resource allocation alternatives.", m3="A", m4="E", m5="C"),
+    _lo(
+        15,
+        "Reason about how the algorithms can be improved beyond the scope of "
+        "the module.",
+        m3="C", m4="C", m5="C",
+    ),
+)
+
+
+def outcomes_for_module(module: int) -> list[LearningOutcome]:
+    """Learning outcomes a module targets (Table I column)."""
+    if not 1 <= module <= 5:
+        raise ValidationError(f"module must be 1..5, got {module}")
+    return [lo for lo in LEARNING_OUTCOMES if module in lo.levels]
+
+
+def render_table1(max_description: int = 72) -> str:
+    """Regenerate Table I as text."""
+    table = TextTable(
+        ["#", "Student Learning Outcome", "M1", "M2", "M3", "M4", "M5"],
+        title="Table I: learning outcomes and Bloom levels (A-apply, E-evaluate, C-create)",
+    )
+    for lo in LEARNING_OUTCOMES:
+        desc = lo.description
+        if len(desc) > max_description:
+            desc = desc[: max_description - 1] + "…"
+        cells = [lo.number, desc]
+        for module in range(1, 6):
+            level = lo.level_for(module)
+            cells.append(level.value if level else "-")
+        table.add_row(cells)
+    return table.render()

@@ -1,0 +1,192 @@
+"""Table II — MPI primitive usage per module, with live verification.
+
+The paper marks each (primitive, module) cell **R** (required), **N**
+(not required but may be employed) or "-".  Because our modules are
+executable, we can *check* the table: run each module's canonical
+solution under the tracer and compare.  The contract is:
+
+* every R primitive must actually be used by the implementation;
+* N primitives may or may not appear;
+* any primitive outside the module's row set is reported as an "extra"
+  (the paper explicitly allows this: "modules are open-ended").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import smpi
+from repro.errors import ValidationError
+from repro.util.tables import TextTable
+
+
+class PrimitiveRequirement(enum.Enum):
+    REQUIRED = "R"
+    OPTIONAL = "N"
+
+
+#: Table II, transcribed.  primitive -> {module: requirement}
+PRIMITIVE_MATRIX: dict[str, dict[int, PrimitiveRequirement]] = {
+    "MPI_Send": {1: PrimitiveRequirement.REQUIRED, 3: PrimitiveRequirement.OPTIONAL},
+    "MPI_Recv": {1: PrimitiveRequirement.REQUIRED, 3: PrimitiveRequirement.OPTIONAL},
+    "MPI_Isend": {1: PrimitiveRequirement.REQUIRED},
+    "MPI_Wait": {1: PrimitiveRequirement.REQUIRED},
+    "MPI_Bcast": {1: PrimitiveRequirement.OPTIONAL},
+    "MPI_Send/Recv variants": {
+        1: PrimitiveRequirement.OPTIONAL,
+        3: PrimitiveRequirement.OPTIONAL,
+    },
+    "MPI_Scatter": {2: PrimitiveRequirement.REQUIRED, 5: PrimitiveRequirement.OPTIONAL},
+    "MPI_Reduce": {
+        2: PrimitiveRequirement.REQUIRED,
+        3: PrimitiveRequirement.REQUIRED,
+        4: PrimitiveRequirement.REQUIRED,
+    },
+    "MPI_Get_count": {3: PrimitiveRequirement.OPTIONAL},
+    "MPI_Allreduce": {5: PrimitiveRequirement.OPTIONAL},
+}
+
+#: Traced primitive names treated as "MPI_Send/Recv variants".
+_VARIANT_PRIMITIVES = frozenset(
+    {"MPI_Ssend", "MPI_Bsend", "MPI_Irecv", "MPI_Sendrecv", "MPI_Probe", "MPI_Iprobe"}
+)
+
+
+def requirements_for_module(module: int) -> dict[str, PrimitiveRequirement]:
+    """Table II column for one module."""
+    if not 1 <= module <= 5:
+        raise ValidationError(f"module must be 1..5, got {module}")
+    return {
+        primitive: cells[module]
+        for primitive, cells in PRIMITIVE_MATRIX.items()
+        if module in cells
+    }
+
+
+def render_table2() -> str:
+    """Regenerate Table II as text."""
+    table = TextTable(
+        ["MPI Primitive", "M1", "M2", "M3", "M4", "M5"],
+        title="Table II: MPI primitives per module (R-required, N-optional)",
+    )
+    for primitive, cells in PRIMITIVE_MATRIX.items():
+        row = [primitive]
+        for module in range(1, 6):
+            req = cells.get(module)
+            row.append(req.value if req else "-")
+        table.add_row(row)
+    return table.render()
+
+
+# -- live verification --------------------------------------------------------
+
+
+def _canonical_module1(comm):
+    from repro.modules import module1
+
+    module1.ping_pong(comm, nbytes=64, iterations=2)
+    module1.ring_exchange(comm)
+    module1.random_communication_two_phase(comm, 3, 0)
+    module1.random_communication_any_source(comm, 3, 0)
+    # The module also introduces MPI_Bcast as an option.
+    comm.bcast("handout" if comm.rank == 0 else None, root=0)
+
+
+def _canonical_module2(comm):
+    from repro.modules.module2_distance import distributed_distance_matrix
+
+    distributed_distance_matrix(comm, n=48, dims=8, tile=16)
+
+
+def _canonical_module3(comm):
+    from repro.modules.module3_sort import sort_activity
+
+    sort_activity(comm, n_per_rank=200, distribution="exponential",
+                  method="histogram", seed=0)
+
+
+def _canonical_module4(comm):
+    from repro.modules.module4_range import range_query_activity
+
+    range_query_activity(comm, n=400, q=8, algorithm="rtree", seed=0)
+
+
+def _canonical_module5(comm):
+    from repro.modules.module5_kmeans import kmeans_distributed
+
+    kmeans_distributed(comm, n=200, k=3, method="weighted", seed=0, max_iter=4)
+
+
+_CANONICAL = {
+    1: _canonical_module1,
+    2: _canonical_module2,
+    3: _canonical_module3,
+    4: _canonical_module4,
+    5: _canonical_module5,
+}
+
+
+def canonical_primitives_used(module: int, nprocs: int = 4) -> set[str]:
+    """Primitives the module's canonical solution uses, per the tracer.
+
+    Variant primitives are folded into the "MPI_Send/Recv variants" row
+    as in the paper's table.
+    """
+    if module not in _CANONICAL:
+        raise ValidationError(f"module must be 1..5, got {module}")
+    out = smpi.launch(nprocs, _CANONICAL[module])
+    used = out.tracer.primitives_used()
+    folded = {p for p in used if p not in _VARIANT_PRIMITIVES}
+    if used & _VARIANT_PRIMITIVES:
+        folded.add("MPI_Send/Recv variants")
+    return folded
+
+
+@dataclass(frozen=True)
+class ModulePrimitiveReport:
+    """Verification result for one module against Table II."""
+
+    module: int
+    required: frozenset[str]
+    optional: frozenset[str]
+    used: frozenset[str]
+
+    @property
+    def missing_required(self) -> frozenset[str]:
+        return self.required - self.used
+
+    @property
+    def optional_used(self) -> frozenset[str]:
+        return self.optional & self.used
+
+    @property
+    def extras(self) -> frozenset[str]:
+        return self.used - self.required - self.optional
+
+    @property
+    def ok(self) -> bool:
+        """True when every required primitive is exercised."""
+        return not self.missing_required
+
+
+def verify_primitive_usage(nprocs: int = 4) -> list[ModulePrimitiveReport]:
+    """Run all five canonical solutions; verify Table II's R cells."""
+    reports = []
+    for module in range(1, 6):
+        reqs = requirements_for_module(module)
+        required = frozenset(
+            p for p, r in reqs.items() if r is PrimitiveRequirement.REQUIRED
+        )
+        optional = frozenset(
+            p for p, r in reqs.items() if r is PrimitiveRequirement.OPTIONAL
+        )
+        used = frozenset(canonical_primitives_used(module, nprocs))
+        reports.append(
+            ModulePrimitiveReport(
+                module=module, required=required, optional=optional, used=used
+            )
+        )
+    return reports

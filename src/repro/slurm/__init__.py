@@ -1,0 +1,34 @@
+"""A SLURM-like batch scheduler simulator.
+
+Supports the paper's ancillary SLURM module (job scripts, partitions of a
+shared cluster, FIFO + EASY-backfill scheduling, accounting) and the
+Figure 1 co-scheduling scenario: jobs carry a *workload profile* whose
+memory-bandwidth demand creates interference when jobs share a node —
+the "terrible twins" effect the Module 4 quiz question examines.
+"""
+
+from repro.slurm.job import JobSpec, JobState, WorkloadProfile
+from repro.slurm.script import parse_sbatch_script, SbatchScript
+from repro.slurm.scheduler import Scheduler, JobRecord
+from repro.slurm.coschedule import (
+    InterferenceModel,
+    coschedule_slowdown,
+    classify_program_from_speedup,
+    recommend_coschedule,
+    CoscheduleAdvice,
+)
+
+__all__ = [
+    "JobSpec",
+    "JobState",
+    "WorkloadProfile",
+    "parse_sbatch_script",
+    "SbatchScript",
+    "Scheduler",
+    "JobRecord",
+    "InterferenceModel",
+    "coschedule_slowdown",
+    "classify_program_from_speedup",
+    "recommend_coschedule",
+    "CoscheduleAdvice",
+]

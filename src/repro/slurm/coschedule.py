@@ -1,0 +1,130 @@
+"""Co-scheduling interference: the "terrible twins" model and the
+Figure 1 advisor.
+
+The paper's Module 4 quiz asks which of two long-running programs should
+share its node with another user's job.  The taught answer: share the
+node of the *compute-bound* program (Figure 1's Program 2, the one whose
+speedup curve keeps climbing), because memory bandwidth — not cores — is
+the contended resource, and co-scheduling two memory-bound jobs
+("terrible twins", de Blanche & Lundqvist 2016) degrades both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import ValidationError
+from repro.slurm.job import WorkloadProfile
+from repro.util.validation import check_in_range, check_positive
+
+
+def coschedule_slowdown(own_demand: float, others_demand: float) -> float:
+    """Stretch factor of a job's *memory phases* under shared bandwidth.
+
+    Demands are in units of node-bandwidth fractions.  While total demand
+    fits in the node (≤ 1) nobody slows down; beyond that, bandwidth is
+    shared proportionally, so every consumer's memory phases stretch by
+    the oversubscription factor.
+    """
+    check_in_range("own_demand", own_demand, 0.0, 10.0)
+    check_in_range("others_demand", others_demand, 0.0, 100.0)
+    total = own_demand + others_demand
+    return max(1.0, total)
+
+
+@dataclass(frozen=True)
+class InterferenceModel:
+    """Turns workload profiles into runtimes under co-location.
+
+    ``runtime(profile, others_demand)`` stretches only the memory-bound
+    fraction of the job: ``base * ((1 - f) + f * slowdown)``.
+    """
+
+    def runtime(self, profile: WorkloadProfile, others_demand: float = 0.0) -> float:
+        f = profile.mem_demand
+        slow = coschedule_slowdown(f, others_demand)
+        return profile.base_runtime * ((1.0 - f) + f * slow)
+
+    def slowdown(self, profile: WorkloadProfile, others_demand: float = 0.0) -> float:
+        """Runtime ratio vs a dedicated node."""
+        return self.runtime(profile, others_demand) / profile.base_runtime
+
+    def speed(self, profile: WorkloadProfile, others_demand: float = 0.0) -> float:
+        """Instantaneous progress rate (1.0 = dedicated-node speed)."""
+        return 1.0 / self.slowdown(profile, others_demand)
+
+
+def classify_program_from_speedup(
+    cores: Sequence[int], speedup: Sequence[float], *, efficiency_threshold: float = 0.6
+) -> str:
+    """Infer boundedness from a measured strong-scaling curve.
+
+    This is the inference the quiz wants students to make from Figure 1:
+    a program whose speedup tracks the core count (high parallel
+    efficiency at scale) is compute-bound; one whose curve flattens has
+    saturated a shared resource — on one node, memory bandwidth — and is
+    memory-bound.
+    """
+    if len(cores) != len(speedup) or not cores:
+        raise ValidationError("cores and speedup must be non-empty and equal length")
+    check_positive("max cores", cores[-1])
+    efficiency_at_scale = speedup[-1] / cores[-1]
+    return "compute-bound" if efficiency_at_scale >= efficiency_threshold else "memory-bound"
+
+
+@dataclass(frozen=True)
+class CoscheduleAdvice:
+    """The advisor's answer to a Figure-1-style question."""
+
+    share_with: str  # name of the program whose node should be shared
+    classifications: dict[str, str]
+    expected_slowdowns: dict[str, float]
+    explanation: str
+
+
+def recommend_coschedule(
+    speedup_curves: Mapping[str, tuple[Sequence[int], Sequence[float]]],
+    *,
+    neighbor_mem_demand: float = 0.9,
+    interference: InterferenceModel | None = None,
+) -> CoscheduleAdvice:
+    """Choose which program's node to share with an incoming job.
+
+    ``speedup_curves`` maps program name → (cores, speedup) as in
+    Figure 1.  The neighbor is assumed memory-hungry (the pessimistic
+    case the module teaches students to plan for).  Returns the program
+    whose co-location hurts least, with the per-program expected
+    slowdowns.
+    """
+    if len(speedup_curves) < 2:
+        raise ValidationError("need at least two programs to choose between")
+    model = interference or InterferenceModel()
+    classifications: dict[str, str] = {}
+    slowdowns: dict[str, float] = {}
+    for name, (cores, speedup) in speedup_curves.items():
+        kind = classify_program_from_speedup(cores, speedup)
+        classifications[name] = kind
+        # Map the classification onto a profile demand: a memory-bound
+        # job at scale consumes ~all node bandwidth; a compute-bound one
+        # consumes little.
+        mem_demand = 0.9 if kind == "memory-bound" else 0.1
+        profile = WorkloadProfile(base_runtime=1.0, mem_demand=mem_demand)
+        slowdowns[name] = model.slowdown(profile, others_demand=neighbor_mem_demand)
+    best = min(slowdowns, key=lambda k: slowdowns[k])
+    explanation = (
+        f"Share the node running {best!r}: it is {classifications[best]} "
+        f"(expected slowdown {slowdowns[best]:.2f}x vs "
+        + ", ".join(
+            f"{n}: {s:.2f}x" for n, s in slowdowns.items() if n != best
+        )
+        + "). CPU cores are not shared between users, so the contended "
+        "resource is memory bandwidth; co-locating the neighbor with a "
+        "memory-bound program would create a 'terrible twins' pairing."
+    )
+    return CoscheduleAdvice(
+        share_with=best,
+        classifications=classifications,
+        expected_slowdowns=slowdowns,
+        explanation=explanation,
+    )

@@ -1,0 +1,69 @@
+"""Job specifications, workload profiles and job states."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.util.validation import check_in_range, check_positive
+
+
+class JobState(enum.Enum):
+    """Lifecycle states (the subset of SLURM's that the modules use)."""
+
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    COMPLETED = "COMPLETED"
+    TIMEOUT = "TIMEOUT"
+    CANCELLED = "CANCELLED"
+
+    @property
+    def finished(self) -> bool:
+        return self in (JobState.COMPLETED, JobState.TIMEOUT, JobState.CANCELLED)
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """How a job uses the machine, at scheduling granularity.
+
+    ``base_runtime`` is the job's runtime on dedicated resources.
+    ``mem_demand`` in ``[0, 1]`` is the fraction of that runtime limited
+    by memory bandwidth: ~0 for a compute-bound code (Figure 1's
+    Program 2), ~0.9 for a memory-bound one (Program 1).  When co-located
+    jobs oversubscribe a node's bandwidth, only the memory-bound fraction
+    stretches — see :func:`repro.slurm.coschedule.coschedule_slowdown`.
+    """
+
+    base_runtime: float
+    mem_demand: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("base_runtime", self.base_runtime)
+        check_in_range("mem_demand", self.mem_demand, 0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """An ``sbatch``-style resource request plus a workload profile."""
+
+    name: str
+    profile: WorkloadProfile
+    nodes: int = 1
+    ntasks: int = 1
+    time_limit: float = 3600.0
+    exclusive: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive("nodes", self.nodes)
+        check_positive("ntasks", self.ntasks)
+        check_positive("time_limit", self.time_limit)
+        if self.ntasks < self.nodes:
+            raise ValidationError(
+                f"job {self.name!r}: ntasks={self.ntasks} < nodes={self.nodes}"
+            )
+
+    @property
+    def tasks_per_node(self) -> int:
+        """Tasks on the fullest node (block distribution)."""
+        return -(-self.ntasks // self.nodes)

@@ -1,0 +1,398 @@
+"""Event-driven batch scheduler: FIFO + EASY backfill + node sharing.
+
+The simulation is a processor-sharing model: between events every
+running job progresses at a speed set by its memory-bandwidth contention
+(see :mod:`repro.slurm.coschedule`), so co-locating jobs genuinely
+changes their runtimes — the substrate for the Figure 1 scenario and
+experiment E8.
+
+Scheduling policy: strict FIFO for the queue head; when the head does
+not fit, EASY backfill lets later jobs jump ahead provided (by their
+*time limits*) they cannot delay the head's reservation — the same
+guarantee real SLURM backfill gives.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SchedulerError
+from repro.slurm.coschedule import InterferenceModel
+from repro.slurm.job import JobSpec, JobState
+from repro.util.tables import TextTable
+from repro.util.validation import check_positive
+
+_EPS = 1e-9
+
+
+@dataclass
+class JobRecord:
+    """Accounting record (``sacct`` row) for one job."""
+
+    job_id: int
+    spec: JobSpec
+    submit_time: float
+    state: JobState = JobState.PENDING
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    nodes: tuple[int, ...] = ()
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+
+@dataclass
+class _RunningJob:
+    record: JobRecord
+    remaining_work: float  # dedicated-node seconds still to execute
+    tasks_on_node: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def deadline(self) -> float:
+        assert self.record.start_time is not None
+        return self.record.start_time + self.record.spec.time_limit
+
+
+class Scheduler:
+    """A single-partition batch scheduler over a homogeneous cluster."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        cores_per_node: int = 32,
+        *,
+        backfill: bool = True,
+        interference: Optional[InterferenceModel] = None,
+    ):
+        check_positive("num_nodes", num_nodes)
+        check_positive("cores_per_node", cores_per_node)
+        self.num_nodes = num_nodes
+        self.cores_per_node = cores_per_node
+        self.backfill = backfill
+        self.interference = interference or InterferenceModel()
+        self.now = 0.0
+        self._ids = itertools.count(1)
+        self._records: dict[int, JobRecord] = {}
+        self._pending: list[int] = []  # FIFO order
+        self._future: list[tuple[float, int]] = []  # (submit_time, id), submit_time > now
+        self._running: dict[int, _RunningJob] = {}
+        self._free_cores: list[int] = [cores_per_node] * num_nodes
+        self._exclusive_on: dict[int, int] = {}  # node -> job id holding it exclusively
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, spec: JobSpec, at: Optional[float] = None) -> int:
+        """Queue a job; returns its job id.
+
+        ``at`` defaults to the current simulation time; future times are
+        honoured by the event loop.
+        """
+        if spec.nodes > self.num_nodes:
+            raise SchedulerError(
+                f"job {spec.name!r} wants {spec.nodes} nodes; cluster has {self.num_nodes}"
+            )
+        if spec.tasks_per_node > self.cores_per_node:
+            raise SchedulerError(
+                f"job {spec.name!r} packs {spec.tasks_per_node} tasks/node; "
+                f"nodes have {self.cores_per_node} cores"
+            )
+        when = self.now if at is None else float(at)
+        if when < self.now - _EPS:
+            raise SchedulerError(f"cannot submit in the past (t={when} < now={self.now})")
+        job_id = next(self._ids)
+        self._records[job_id] = JobRecord(job_id=job_id, spec=spec, submit_time=when)
+        if when <= self.now + _EPS:
+            self._pending.append(job_id)
+        else:
+            self._future.append((when, job_id))
+            self._future.sort()
+        return job_id
+
+    def cancel(self, job_id: int) -> None:
+        """Cancel a pending or running job."""
+        rec = self.record(job_id)
+        if rec.state == JobState.PENDING:
+            rec.state = JobState.CANCELLED
+            rec.end_time = self.now
+            if job_id in self._pending:
+                self._pending.remove(job_id)
+            self._future = [(t, j) for (t, j) in self._future if j != job_id]
+        elif rec.state == JobState.RUNNING:
+            self._finish(job_id, JobState.CANCELLED)
+        # finished jobs: no-op
+
+    def record(self, job_id: int) -> JobRecord:
+        try:
+            return self._records[job_id]
+        except KeyError as exc:
+            raise SchedulerError(f"unknown job id {job_id}") from exc
+
+    # -- resource bookkeeping ----------------------------------------------
+
+    def _fits_now(self, spec: JobSpec) -> Optional[dict[int, int]]:
+        """First-fit allocation {node: tasks}, or None if it can't start."""
+        per_node = spec.tasks_per_node
+        tasks_left = spec.ntasks
+        alloc: dict[int, int] = {}
+        for node in range(self.num_nodes):
+            if len(alloc) == spec.nodes:
+                break
+            if node in self._exclusive_on:
+                continue
+            occupied = self._free_cores[node] < self.cores_per_node
+            if spec.exclusive and occupied:
+                continue
+            tasks = min(per_node, tasks_left)
+            if self._free_cores[node] >= tasks:
+                alloc[node] = tasks
+                tasks_left -= tasks
+        if len(alloc) == spec.nodes and tasks_left == 0:
+            return alloc
+        return None
+
+    def _start(self, job_id: int, alloc: dict[int, int]) -> None:
+        rec = self._records[job_id]
+        rec.state = JobState.RUNNING
+        rec.start_time = self.now
+        rec.nodes = tuple(sorted(alloc))
+        for node, tasks in alloc.items():
+            self._free_cores[node] -= tasks
+            if rec.spec.exclusive:
+                self._exclusive_on[node] = job_id
+        self._running[job_id] = _RunningJob(
+            record=rec,
+            remaining_work=rec.spec.profile.base_runtime,
+            tasks_on_node=dict(alloc),
+        )
+
+    def _finish(self, job_id: int, state: JobState) -> None:
+        run = self._running.pop(job_id)
+        rec = run.record
+        rec.state = state
+        rec.end_time = self.now
+        for node, tasks in run.tasks_on_node.items():
+            self._free_cores[node] += tasks
+            if self._exclusive_on.get(node) == job_id:
+                del self._exclusive_on[node]
+
+    # -- contention-aware progress ---------------------------------------------
+
+    def _node_demand(self, node: int) -> float:
+        """Total memory-bandwidth demand currently on ``node``."""
+        return sum(
+            run.record.spec.profile.mem_demand
+            for run in self._running.values()
+            if node in run.tasks_on_node
+        )
+
+    def _speed(self, run: _RunningJob) -> float:
+        """Progress rate (dedicated seconds per wall second).
+
+        A bulk-synchronous job moves at the pace of its most contended
+        node.
+        """
+        worst = 1.0
+        profile = run.record.spec.profile
+        for node in run.tasks_on_node:
+            others = self._node_demand(node) - profile.mem_demand
+            worst = max(worst, self.interference.slowdown(profile, others))
+        return 1.0 / worst
+
+    # -- scheduling pass -------------------------------------------------------
+
+    def _schedule_pass(self) -> None:
+        started = True
+        while started:
+            started = False
+            if not self._pending:
+                return
+            head = self._pending[0]
+            alloc = self._fits_now(self._records[head].spec)
+            if alloc is not None:
+                self._pending.pop(0)
+                self._start(head, alloc)
+                started = True
+                continue
+            if not self.backfill:
+                return
+            reservation = self._head_reservation(self._records[head].spec)
+            for job_id in self._pending[1:]:
+                spec = self._records[job_id].spec
+                if self.now + spec.time_limit > reservation + _EPS:
+                    continue  # could delay the head
+                alloc = self._fits_now(spec)
+                if alloc is not None:
+                    self._pending.remove(job_id)
+                    self._start(job_id, alloc)
+                    started = True
+                    break  # restart: head may now fit, reservation moved
+
+    def _head_reservation(self, spec: JobSpec) -> float:
+        """Earliest time the head job is guaranteed to start, assuming
+        running jobs end at their time limits (SLURM's assumption)."""
+        frees = sorted(
+            ((run.deadline, run.tasks_on_node) for run in self._running.values()),
+            key=lambda item: item[0],
+        )
+        cores = list(self._free_cores)
+        exclusive = dict(self._exclusive_on)
+        when = self.now
+        for deadline, tasks_on_node in frees:
+            when = max(when, deadline)
+            for node, tasks in tasks_on_node.items():
+                cores[node] += tasks
+                exclusive.pop(node, None)
+            if self._would_fit(spec, cores, exclusive):
+                return when
+        if self._would_fit(spec, cores, exclusive):
+            return when
+        raise SchedulerError(
+            f"job {spec.name!r} can never start on this cluster"
+        )  # pragma: no cover - submit() already validates feasibility
+
+    def _would_fit(
+        self, spec: JobSpec, cores: list[int], exclusive: dict[int, int]
+    ) -> bool:
+        per_node = spec.tasks_per_node
+        tasks_left = spec.ntasks
+        nodes = 0
+        for node in range(self.num_nodes):
+            if nodes == spec.nodes:
+                break
+            if node in exclusive:
+                continue
+            if spec.exclusive and cores[node] < self.cores_per_node:
+                continue
+            tasks = min(per_node, tasks_left)
+            if cores[node] >= tasks:
+                nodes += 1
+                tasks_left -= tasks
+        return nodes == spec.nodes and tasks_left == 0
+
+    # -- event loop ----------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Advance to the next event; returns False when nothing remains."""
+        self._schedule_pass()
+        next_submit = self._future[0][0] if self._future else None
+        next_end = None
+        for run in self._running.values():
+            speed = self._speed(run)
+            eta = self.now + run.remaining_work / speed
+            eta = min(eta, run.deadline)
+            next_end = eta if next_end is None else min(next_end, eta)
+        candidates = [t for t in (next_submit, next_end) if t is not None]
+        if not candidates:
+            return False
+        t_next = min(candidates)
+        dt = max(0.0, t_next - self.now)
+        # Progress everything at the speeds that held during [now, t_next).
+        speeds = {job_id: self._speed(run) for job_id, run in self._running.items()}
+        self.now = t_next
+        finished: list[tuple[int, JobState]] = []
+        for job_id, run in self._running.items():
+            run.remaining_work -= speeds[job_id] * dt
+            if run.remaining_work <= _EPS:
+                finished.append((job_id, JobState.COMPLETED))
+            elif self.now >= run.deadline - _EPS:
+                finished.append((job_id, JobState.TIMEOUT))
+        for job_id, state in finished:
+            self._finish(job_id, state)
+        while self._future and self._future[0][0] <= self.now + _EPS:
+            _, job_id = self._future.pop(0)
+            self._pending.append(job_id)
+        self._schedule_pass()
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the system drains (or ``until``); returns
+        the final simulation time."""
+        guard = 0
+        while self.step():
+            guard += 1
+            if until is not None and self.now >= until:
+                break
+            if guard > 1_000_000:  # pragma: no cover - safety valve
+                raise SchedulerError("scheduler event loop did not terminate")
+        return self.now
+
+    # -- views -----------------------------------------------------------------------
+
+    def squeue(self) -> list[JobRecord]:
+        """Pending + running jobs, queue order first."""
+        out = [self._records[j] for j in self._pending]
+        out.extend(
+            sorted(
+                (run.record for run in self._running.values()),
+                key=lambda r: r.job_id,
+            )
+        )
+        return out
+
+    def utilization(self) -> float:
+        """Fraction of core-seconds used by finished jobs, over the
+        makespan so far (``0.0`` before anything ran)."""
+        if self.now <= 0:
+            return 0.0
+        used = sum(
+            rec.spec.ntasks * rec.elapsed
+            for rec in self._records.values()
+            if rec.elapsed is not None
+        )
+        return used / (self.num_nodes * self.cores_per_node * self.now)
+
+    def gantt(self, width: int = 64) -> str:
+        """ASCII Gantt chart of started jobs (one lane per job)."""
+        started = [
+            rec for rec in self._records.values() if rec.start_time is not None
+        ]
+        if not started:
+            return "(no jobs started)"
+        horizon = max(
+            (rec.end_time if rec.end_time is not None else self.now)
+            for rec in started
+        )
+        horizon = max(horizon, 1e-9)
+        name_w = max(len(rec.spec.name) for rec in started)
+        lines = [f"{'':>{name_w}}  0{' ' * (width - 8)}{horizon:.6g}s"]
+        for rec in sorted(started, key=lambda r: (r.start_time, r.job_id)):
+            end = rec.end_time if rec.end_time is not None else self.now
+            first = int(rec.start_time / horizon * (width - 1))
+            last = max(first, int(end / horizon * (width - 1)))
+            lane = [" "] * width
+            for col in range(first, last + 1):
+                lane[col] = "#"
+            lines.append(f"{rec.spec.name:>{name_w}} |{''.join(lane)}|")
+        return "\n".join(lines)
+
+    def sacct(self) -> TextTable:
+        """Accounting table over all jobs (like ``sacct``)."""
+        table = TextTable(
+            ["JobID", "Name", "State", "Submit", "Start", "End", "Elapsed", "Nodes"]
+        )
+        for job_id in sorted(self._records):
+            rec = self._records[job_id]
+            table.add_row(
+                [
+                    rec.job_id,
+                    rec.spec.name,
+                    rec.state.value,
+                    f"{rec.submit_time:.1f}",
+                    "-" if rec.start_time is None else f"{rec.start_time:.1f}",
+                    "-" if rec.end_time is None else f"{rec.end_time:.1f}",
+                    "-" if rec.elapsed is None else f"{rec.elapsed:.1f}",
+                    ",".join(map(str, rec.nodes)) or "-",
+                ]
+            )
+        return table

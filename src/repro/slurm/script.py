@@ -1,0 +1,139 @@
+"""``#SBATCH`` job-script parsing — the ancillary SLURM module's substrate.
+
+Parses the directive subset the teaching module covers::
+
+    #!/bin/bash
+    #SBATCH --job-name=distance_matrix
+    #SBATCH --nodes=2
+    #SBATCH --ntasks=8
+    #SBATCH --time=00:10:00
+    #SBATCH --exclusive
+    srun ./distance_matrix
+
+Unknown directives raise, mirroring ``sbatch``'s strictness (and catching
+the typos students actually make).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulerError
+from repro.slurm.job import JobSpec, WorkloadProfile
+
+_DIRECTIVE_RE = re.compile(r"^#SBATCH\s+(.*)$")
+
+_KNOWN_FLAGS = {"--exclusive"}
+_KNOWN_OPTIONS = {
+    "--job-name",
+    "-J",
+    "--nodes",
+    "-N",
+    "--ntasks",
+    "-n",
+    "--time",
+    "-t",
+    "--ntasks-per-node",
+}
+
+
+@dataclass
+class SbatchScript:
+    """Parsed contents of a batch script."""
+
+    job_name: str = "job"
+    nodes: int = 1
+    ntasks: int = 1
+    ntasks_per_node: int | None = None
+    time_limit: float = 3600.0
+    exclusive: bool = False
+    commands: list[str] = field(default_factory=list)
+
+    def to_spec(self, profile: WorkloadProfile) -> JobSpec:
+        """Attach a workload profile (the simulator's stand-in for the
+        executable) and produce a schedulable :class:`JobSpec`."""
+        ntasks = self.ntasks
+        if self.ntasks_per_node is not None:
+            ntasks = max(ntasks, self.ntasks_per_node * self.nodes)
+        return JobSpec(
+            name=self.job_name,
+            profile=profile,
+            nodes=self.nodes,
+            ntasks=ntasks,
+            time_limit=self.time_limit,
+            exclusive=self.exclusive,
+        )
+
+
+def parse_time_limit(text: str) -> float:
+    """Parse SLURM time formats: ``MM``, ``MM:SS``, ``HH:MM:SS``,
+    ``D-HH:MM:SS``.  Returns seconds."""
+    days = 0
+    if "-" in text:
+        day_part, text = text.split("-", 1)
+        try:
+            days = int(day_part)
+        except ValueError as exc:
+            raise SchedulerError(f"bad time limit day field: {day_part!r}") from exc
+    parts = text.split(":")
+    try:
+        values = [int(p) for p in parts]
+    except ValueError as exc:
+        raise SchedulerError(f"bad time limit: {text!r}") from exc
+    if len(values) == 1:
+        h, m, s = 0, values[0], 0
+    elif len(values) == 2:
+        h, (m, s) = 0, values
+    elif len(values) == 3:
+        h, m, s = values
+    else:
+        raise SchedulerError(f"bad time limit: {text!r}")
+    total = ((days * 24 + h) * 60 + m) * 60 + s
+    if total <= 0:
+        raise SchedulerError(f"time limit must be positive: {text!r}")
+    return float(total)
+
+
+def parse_sbatch_script(text: str) -> SbatchScript:
+    """Parse a job script's ``#SBATCH`` directives and command lines."""
+    script = SbatchScript()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        match = _DIRECTIVE_RE.match(line)
+        if match is None:
+            if line and not line.startswith("#"):
+                script.commands.append(line)
+            continue
+        directive = match.group(1).strip()
+        if "=" in directive:
+            key, value = directive.split("=", 1)
+        else:
+            pieces = directive.split(None, 1)
+            key = pieces[0]
+            value = pieces[1] if len(pieces) > 1 else None
+        key = key.strip()
+        if key in _KNOWN_FLAGS:
+            if value not in (None, ""):
+                raise SchedulerError(f"line {lineno}: {key} takes no value")
+            script.exclusive = True
+            continue
+        if key not in _KNOWN_OPTIONS:
+            raise SchedulerError(f"line {lineno}: unknown #SBATCH directive {key!r}")
+        if value is None or value == "":
+            raise SchedulerError(f"line {lineno}: {key} requires a value")
+        value = value.strip()
+        try:
+            if key in ("--job-name", "-J"):
+                script.job_name = value
+            elif key in ("--nodes", "-N"):
+                script.nodes = int(value)
+            elif key in ("--ntasks", "-n"):
+                script.ntasks = int(value)
+            elif key == "--ntasks-per-node":
+                script.ntasks_per_node = int(value)
+            elif key in ("--time", "-t"):
+                script.time_limit = parse_time_limit(value)
+        except ValueError as exc:
+            raise SchedulerError(f"line {lineno}: bad value for {key}: {value!r}") from exc
+    return script

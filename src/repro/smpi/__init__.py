@@ -1,0 +1,96 @@
+"""smpi — a simulated MPI runtime with virtual time.
+
+Ranks are threads running ordinary blocking code against a
+:class:`~repro.smpi.communicator.Comm` whose API mirrors mpi4py
+(lowercase object protocol, uppercase buffer protocol).  Performance is
+modelled, not measured: point-to-point and collective calls advance each
+rank's virtual clock by Hockney-model costs, and
+:meth:`Comm.compute <repro.smpi.communicator.Comm.compute>` charges
+roofline costs, so speedup experiments are deterministic and run in
+milliseconds.
+
+Entry points::
+
+    results = smpi.run(8, fn, *args)            # per-rank return values
+    out = smpi.launch(8, fn, *args)             # + world: clocks, trace
+    out.elapsed                                  # virtual makespan
+    out.tracer.primitives_used()                 # {"MPI_Send", ...}
+"""
+
+from repro.errors import (
+    CommAbortError,
+    DeadlockError,
+    InvalidRankError,
+    InvalidTagError,
+    SMPIError,
+    TruncationError,
+)
+from repro.smpi.communicator import Comm
+from repro.smpi.datatypes import (
+    ALL_OPS,
+    ANY_SOURCE,
+    ANY_TAG,
+    BAND,
+    BOR,
+    BXOR,
+    LAND,
+    LOR,
+    MAX,
+    MAXLOC,
+    MIN,
+    MINLOC,
+    Op,
+    PROD,
+    Status,
+    SUM,
+    TAG_UB,
+    payload_nbytes,
+)
+from repro.smpi.request import Request, testall, waitall, waitany
+from repro.smpi.runtime import RunResult, World, launch, run
+from repro.smpi.topology import CartComm, compute_dims, create_cart
+from repro.smpi.trace import TraceEvent, Tracer, TraceSummary
+from repro.smpi.datatypes import PROC_NULL
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "TAG_UB",
+    "SUM",
+    "PROD",
+    "MIN",
+    "MAX",
+    "LAND",
+    "LOR",
+    "BAND",
+    "BOR",
+    "BXOR",
+    "MINLOC",
+    "MAXLOC",
+    "ALL_OPS",
+    "Op",
+    "Status",
+    "payload_nbytes",
+    "Comm",
+    "CartComm",
+    "create_cart",
+    "compute_dims",
+    "PROC_NULL",
+    "Request",
+    "testall",
+    "waitall",
+    "waitany",
+    "World",
+    "RunResult",
+    "launch",
+    "run",
+    "Tracer",
+    "TraceEvent",
+    "TraceSummary",
+    "SMPIError",
+    "DeadlockError",
+    "TruncationError",
+    "InvalidRankError",
+    "InvalidTagError",
+    "CommAbortError",
+]

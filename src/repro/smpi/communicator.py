@@ -1,0 +1,735 @@
+"""The communicator: mpi4py-style point-to-point and collective API.
+
+Lowercase methods (``send``/``recv``/``bcast``/...) move arbitrary Python
+objects, uppercase methods (``Send``/``Recv``/``Bcast``/...) fill numpy
+buffers in place — the same convention mpi4py uses, so module solutions
+written here transliterate directly to real MPI code.
+
+Beyond MPI, :meth:`Comm.compute` charges virtual time for a compute
+phase through the roofline model; this is how the pedagogic modules make
+compute-bound vs memory-bound behaviour visible without real hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import (
+    InvalidRankError,
+    InvalidTagError,
+    SMPIError,
+    TruncationError,
+)
+from repro.smpi import datatypes as dt
+from repro.smpi.collectives import KINDS, copy_payload
+from repro.smpi.datatypes import ANY_SOURCE, ANY_TAG, Op, Status, TAG_UB, payload_nbytes
+from repro.smpi.message import Envelope, PostedRecv
+from repro.smpi.request import Request
+from repro.smpi.runtime import World
+
+
+class Comm:
+    """A communicator over a group of simulated ranks.
+
+    Construct via :func:`repro.smpi.run` /
+    :func:`repro.smpi.launch` (world communicator) or
+    :meth:`Comm.split` / :meth:`Comm.dup`.
+    """
+
+    def __init__(self, world: World, cid: int, rank: int):
+        self.world = world
+        self.cid = cid
+        self.group = world.group_of(cid)
+        self._rank = rank
+        self._world_rank = self.group[rank]
+        self._inverse = {wr: r for r, wr in enumerate(self.group)}
+        self._clock = world.clocks[self._world_rank]
+        self._split_count = 0
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This process's rank within the communicator."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return len(self.group)
+
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    def wtime(self) -> float:
+        """Virtual time on this rank (``MPI_Wtime``)."""
+        return self._clock.now
+
+    def Get_processor_name(self) -> str:
+        """The simulated node hosting this rank (``MPI_Get_processor_name``)."""
+        return f"node{self.world.placement.node(self._world_rank):03d}"
+
+    def abort(self, errorcode: int = 1) -> None:
+        """Abort the whole world (``MPI_Abort``): every rank's pending
+        and future communication raises
+        :class:`~repro.errors.CommAbortError`."""
+        from repro.errors import CommAbortError
+
+        exc = CommAbortError(
+            f"MPI_Abort(errorcode={errorcode}) called by rank {self._rank}"
+        )
+        self.world.abort(exc, f"rank {self._rank} called abort")
+        raise exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Comm(cid={self.cid}, rank={self._rank}/{self.size})"
+
+    # -- validation ----------------------------------------------------------
+
+    def _check_peer(self, name: str, peer: int) -> int:
+        if not 0 <= peer < self.size:
+            raise InvalidRankError(
+                f"{name}={peer} out of range for communicator of size {self.size}"
+            )
+        return self.group[peer]
+
+    def _check_source(self, source: int) -> int:
+        if source == ANY_SOURCE:
+            return ANY_SOURCE
+        return self._check_peer("source", source)
+
+    @staticmethod
+    def _check_send_tag(tag: int) -> int:
+        if not 0 <= tag <= TAG_UB:
+            raise InvalidTagError(f"send tag must be in [0, {TAG_UB}], got {tag}")
+        return tag
+
+    @staticmethod
+    def _check_recv_tag(tag: int) -> int:
+        if tag != ANY_TAG and not 0 <= tag <= TAG_UB:
+            raise InvalidTagError(f"recv tag must be ANY_TAG or in [0, {TAG_UB}], got {tag}")
+        return tag
+
+    # -- point-to-point: sends ------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking standard-mode send (eager below the threshold,
+        rendezvous above — so large blocking sends can deadlock, as on a
+        real cluster)."""
+        self._send_impl(obj, dest, tag, mode="send", primitive="MPI_Send")
+
+    def ssend(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Synchronous-mode send: always waits for the matching receive."""
+        self._send_impl(obj, dest, tag, mode="ssend", primitive="MPI_Ssend")
+
+    def bsend(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Buffered-mode send: always completes locally (eager)."""
+        self._send_impl(obj, dest, tag, mode="bsend", primitive="MPI_Bsend")
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; complete with :meth:`Request.wait`."""
+        return self._send_impl(obj, dest, tag, mode="isend", primitive="MPI_Isend")
+
+    def _send_impl(
+        self, obj: Any, dest: int, tag: int, *, mode: str, primitive: str
+    ) -> Optional[Request]:
+        world_dst = self._check_peer("dest", dest)
+        tag = self._check_send_tag(tag)
+        src = self._world_rank
+        nbytes = payload_nbytes(obj)
+        payload = copy_payload(obj)
+        ts = self._clock.now
+        net_time = self.world.ptp_net_time(src, world_dst, nbytes)
+        if mode == "ssend":
+            rendezvous = True
+        elif mode == "bsend":
+            rendezvous = False
+        else:
+            rendezvous = self.world.is_rendezvous(nbytes)
+        env = Envelope(
+            source=src,
+            dest=world_dst,
+            tag=tag,
+            payload=payload,
+            nbytes=nbytes,
+            send_time=ts,
+            net_time=net_time,
+            rendezvous=rendezvous,
+            arrival_time=None if rendezvous else ts + net_time,
+            comm_cid=self.cid,
+        )
+        if not rendezvous:
+            with self.world.lock:
+                self.world.check_abort_locked()
+                self.world.deliver_locked(env)
+            overhead = self.world.ptp_overhead(src, world_dst)
+            self._clock.advance(overhead)
+            self.world.tracer.record(
+                src, "p2p", primitive, nbytes, ts, self._clock.now, peer=world_dst
+            )
+            if mode == "isend":
+                # The request is already satisfied, but completion is
+                # observed (and traced as MPI_Wait) at wait/test time so
+                # the student's call pattern shows up in the trace.
+                req = Request(self, "isend")
+                req._eager_status = Status(  # type: ignore[attr-defined]
+                    source=self._rank, tag=tag, nbytes=nbytes
+                )
+                return req
+            return None
+        # Rendezvous path.
+        if mode == "isend":
+            with self.world.lock:
+                self.world.check_abort_locked()
+                self.world.deliver_locked(env)
+            self.world.tracer.record(src, "p2p", primitive, nbytes, ts, ts, peer=world_dst)
+            req = Request(self, "isend")
+            req._env = env  # type: ignore[attr-defined]
+            req._send_tag = tag  # type: ignore[attr-defined]
+            return req
+        with self.world.lock:
+            self.world.check_abort_locked()
+            self.world.deliver_locked(env)
+            self.world.block(
+                src,
+                take=lambda: env.completion_time,
+                can_proceed=lambda: env.completion_time is not None,
+                description=(
+                    f"{primitive}(dest={dest}, tag={tag}, {nbytes} B, rendezvous) "
+                    f"waiting for a matching recv"
+                ),
+            )
+        self._clock.advance_to(env.completion_time)
+        self.world.tracer.record(
+            src, "p2p", primitive, nbytes, ts, self._clock.now, peer=world_dst
+        )
+        return None
+
+    # -- point-to-point: receives ----------------------------------------------
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> Any:
+        """Blocking receive; returns the received object."""
+        world_src = self._check_source(source)
+        tag = self._check_recv_tag(tag)
+        me = self._world_rank
+        t_post = self._clock.now
+        with self.world.lock:
+            self.world.check_abort_locked()
+            queues = self.world.queues[me]
+            env = queues.take_unexpected(world_src, tag, self.cid)
+            if env is None:
+                pr = PostedRecv(
+                    dest=me, source=world_src, tag=tag, comm_cid=self.cid,
+                    post_time=t_post,
+                )
+                queues.post(pr)
+                env = self.world.block(
+                    me,
+                    take=lambda: pr.envelope,
+                    can_proceed=lambda: pr.envelope is not None,
+                    description=(
+                        f"MPI_Recv(source={source if source != ANY_SOURCE else 'ANY_SOURCE'}, "
+                        f"tag={tag if tag != ANY_TAG else 'ANY_TAG'}) "
+                        f"waiting for a message"
+                    ),
+                )
+            completion = self._complete_match_locked(env)
+        self._clock.advance_to(completion)
+        self.world.tracer.record(
+            me, "p2p", "MPI_Recv", env.nbytes, t_post, self._clock.now, peer=env.source
+        )
+        self._fill_status(status, env)
+        return env.payload
+
+    def _complete_match_locked(self, env: Envelope) -> float:
+        """Finish the protocol for a matched envelope; returns completion time.
+
+        Caller holds the world lock.
+        """
+        now = self._clock.now
+        if env.rendezvous:
+            if env.completion_time is None:
+                env.completion_time = max(env.send_time, now) + env.net_time
+                env.arrival_time = env.completion_time
+                self.world.cond.notify_all()  # wake the blocked sender
+            return max(now, env.completion_time)
+        return max(now, env.arrival_time if env.arrival_time is not None else now)
+
+    def _fill_status(self, status: Optional[Status], env: Envelope) -> None:
+        if status is None:
+            return
+        status.source = self._inverse.get(env.source, env.source)
+        status.tag = env.tag
+        status.nbytes = env.nbytes
+
+    def irecv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Request:
+        """Non-blocking receive; :meth:`Request.wait` returns the object."""
+        world_src = self._check_source(source)
+        tag = self._check_recv_tag(tag)
+        me = self._world_rank
+        req = Request(self, "irecv")
+        req._post_time = self._clock.now  # type: ignore[attr-defined]
+        with self.world.lock:
+            self.world.check_abort_locked()
+            queues = self.world.queues[me]
+            env = queues.take_unexpected(world_src, tag, self.cid)
+            if env is not None:
+                # The rendezvous handshake completes now that both sides
+                # are posted — not at wait time — so a compute phase
+                # between irecv and wait genuinely overlaps the transfer.
+                if env.rendezvous and env.completion_time is None:
+                    env.completion_time = (
+                        max(env.send_time, self._clock.now) + env.net_time
+                    )
+                    env.arrival_time = env.completion_time
+                    self.world.cond.notify_all()
+                req._env = env  # type: ignore[attr-defined]
+            else:
+                pr = PostedRecv(
+                    dest=me, source=world_src, tag=tag, comm_cid=self.cid,
+                    post_time=self._clock.now,
+                )
+                queues.post(pr)
+                req._pr = pr  # type: ignore[attr-defined]
+        self.world.tracer.record(
+            me, "p2p", "MPI_Irecv", 0, req._post_time, req._post_time  # type: ignore[attr-defined]
+        )
+        return req
+
+    # -- request completion (called by Request) ---------------------------------
+
+    def _wait_request(self, req: Request) -> None:
+        me = self._world_rank
+        t_wait = self._clock.now
+        if req.kind == "isend":
+            env = getattr(req, "_env", None)
+            if env is None:  # eager isend: completes instantly at the wait
+                status = getattr(req, "_eager_status", None) or Status()
+                self.world.tracer.record(
+                    me, "p2p", "MPI_Wait", status.nbytes, t_wait, t_wait
+                )
+                req._finish(None, status)
+                return
+            with self.world.lock:
+                self.world.block(
+                    me,
+                    take=lambda: env.completion_time,
+                    can_proceed=lambda: env.completion_time is not None,
+                    description=(
+                        f"MPI_Wait(isend tag={env.tag}, {env.nbytes} B, rendezvous) "
+                        f"waiting for a matching recv"
+                    ),
+                )
+            self._clock.advance_to(env.completion_time)
+            self.world.tracer.record(
+                me, "p2p", "MPI_Wait", env.nbytes, t_wait, self._clock.now, peer=env.dest
+            )
+            req._finish(None, Status(tag=env.tag, nbytes=env.nbytes))
+            return
+        # irecv
+        env = getattr(req, "_env", None)
+        if env is None:
+            pr = req._pr  # type: ignore[attr-defined]
+            with self.world.lock:
+                self.world.check_abort_locked()
+                env = self.world.block(
+                    me,
+                    take=lambda: pr.envelope,
+                    can_proceed=lambda: pr.envelope is not None,
+                    description="MPI_Wait(irecv) waiting for a message",
+                )
+        with self.world.lock:
+            completion = self._complete_match_locked(env)
+        self._clock.advance_to(completion)
+        self.world.tracer.record(
+            me, "p2p", "MPI_Wait", env.nbytes, t_wait, self._clock.now, peer=env.source
+        )
+        status = Status()
+        self._fill_status(status, env)
+        payload = env.payload
+        buf = getattr(req, "_recv_buffer", None)
+        if buf is not None:
+            _copy_into_buffer(payload, buf)
+            payload = buf
+        req._finish(payload, status)
+
+    def _test_request(self, req: Request) -> None:
+        if req.kind == "isend":
+            env = getattr(req, "_env", None)
+            if env is None:  # eager: completes on first test
+                self._wait_request(req)
+                return
+            with self.world.lock:
+                ready = env.completion_time is not None
+            if ready:
+                self._wait_request(req)
+            return
+        env = getattr(req, "_env", None)
+        if env is None:
+            pr = req._pr  # type: ignore[attr-defined]
+            with self.world.lock:
+                env = pr.envelope
+            if env is None:
+                return
+            req._env = env  # type: ignore[attr-defined]
+        self._wait_request(req)
+
+    # -- probe ---------------------------------------------------------------
+
+    def probe(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> Status:
+        """Block until a matching message is available (not consumed)."""
+        world_src = self._check_source(source)
+        tag = self._check_recv_tag(tag)
+        me = self._world_rank
+        t0 = self._clock.now
+        with self.world.lock:
+            self.world.check_abort_locked()
+            queues = self.world.queues[me]
+            env = self.world.block(
+                me,
+                take=lambda: queues.peek_unexpected(world_src, tag, self.cid),
+                can_proceed=lambda: queues.peek_unexpected(world_src, tag, self.cid)
+                is not None,
+                description=(
+                    f"MPI_Probe(source="
+                    f"{source if source != ANY_SOURCE else 'ANY_SOURCE'}, tag="
+                    f"{tag if tag != ANY_TAG else 'ANY_TAG'}) waiting for a message"
+                ),
+            )
+        if not env.rendezvous and env.arrival_time is not None:
+            self._clock.advance_to(env.arrival_time)
+        self.world.tracer.record(me, "p2p", "MPI_Probe", env.nbytes, t0, self._clock.now)
+        out = status if status is not None else Status()
+        self._fill_status(out, env)
+        return out
+
+    def iprobe(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> bool:
+        """Non-blocking probe; True when a matching message is queued."""
+        world_src = self._check_source(source)
+        tag = self._check_recv_tag(tag)
+        me = self._world_rank
+        with self.world.lock:
+            self.world.check_abort_locked()
+            env = self.world.queues[me].peek_unexpected(world_src, tag, self.cid)
+        self.world.tracer.record(
+            me, "p2p", "MPI_Iprobe", 0, self._clock.now, self._clock.now
+        )
+        if env is None:
+            return False
+        if status is not None:
+            self._fill_status(status, env)
+        return True
+
+    def get_count(self, status: Status, itemsize: int = 1) -> int:
+        """``MPI_Get_count``: elements in the message ``status`` describes.
+
+        Functionally identical to :meth:`Status.Get_count`, but going
+        through the communicator records the primitive in the trace —
+        which is how the Table II verification sees Module 3 use it.
+        """
+        count = status.Get_count(itemsize)
+        self.world.tracer.record(
+            self._world_rank, "p2p", "MPI_Get_count", status.nbytes,
+            self._clock.now, self._clock.now,
+        )
+        return count
+
+    def sendrecv(
+        self,
+        sendobj: Any,
+        dest: int,
+        sendtag: int = 0,
+        source: int = ANY_SOURCE,
+        recvtag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> Any:
+        """Combined send+receive that cannot deadlock against itself."""
+        req = self.isend(sendobj, dest, sendtag)
+        obj = self.recv(source, recvtag, status)
+        req.wait()
+        return obj
+
+    # -- collectives -----------------------------------------------------------
+
+    def _collective(
+        self, kind: str, contribution: Any, root: int = 0, op: Optional[Op] = None
+    ) -> Any:
+        spec = KINDS[kind]
+        if spec.needs_op and op is None:
+            raise SMPIError(f"{kind} requires a reduction op")
+        if not 0 <= root < self.size:
+            raise InvalidRankError(f"root={root} out of range for size {self.size}")
+        me = self._world_rank
+        t0 = self._clock.now
+        with self.world.lock:
+            self.world.check_abort_locked()
+            table = self.world.coll_table(self.cid)
+            net = self.world.net_params(self.group)
+            try:
+                index, ctx = table.context_for(self._rank, kind)
+                ctx.join(self._rank, contribution, t0, root, op, net)
+            except SMPIError as exc:
+                self.world.abort_exc = self.world.abort_exc or exc
+                self.world.abort_origin = self.world.abort_origin or f"rank {self._rank}"
+                self.world.cond.notify_all()
+                raise
+            if ctx.done:
+                self.world.cond.notify_all()
+            self.world.block(
+                me,
+                take=lambda: True if ctx.done else None,
+                can_proceed=lambda: ctx.done,
+                description=f"{spec.primitive} (collective call #{index}) "
+                f"waiting for all ranks to enter",
+            )
+            result = ctx.results[self._rank]
+            completion = ctx.completions[self._rank]
+            table.maybe_release(index)
+        self._clock.advance_to(completion)
+        self.world.tracer.record(
+            me, "collective", spec.primitive, payload_nbytes(contribution), t0,
+            self._clock.now,
+        )
+        return result
+
+    def barrier(self) -> None:
+        """Synchronize every rank (``MPI_Barrier``)."""
+        self._collective("barrier", None)
+
+    def bcast(self, obj: Any = None, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; all ranks return it."""
+        return self._collective("bcast", obj, root=root)
+
+    def scatter(self, sendobj: Optional[Sequence[Any]] = None, root: int = 0) -> Any:
+        """Scatter a length-``size`` sequence from ``root``; each rank
+        returns its piece."""
+        return self._collective("scatter", sendobj, root=root)
+
+    def gather(self, sendobj: Any, root: int = 0) -> Optional[list[Any]]:
+        """Gather contributions; ``root`` returns the rank-ordered list."""
+        return self._collective("gather", sendobj, root=root)
+
+    def allgather(self, sendobj: Any) -> list[Any]:
+        """Gather contributions to every rank."""
+        return self._collective("allgather", sendobj)
+
+    def alltoall(self, sendobjs: Sequence[Any]) -> list[Any]:
+        """Personalized all-to-all: rank ``i`` sends ``sendobjs[j]`` to
+        ``j`` and returns the list of items addressed to it.  Item sizes
+        may differ per destination, which also covers ``MPI_Alltoallv``."""
+        return self._collective("alltoall", sendobjs)
+
+    def reduce(self, sendobj: Any, op: Op = dt.SUM, root: int = 0) -> Any:
+        """Reduce to ``root`` (others return ``None``)."""
+        return self._collective("reduce", sendobj, root=root, op=op)
+
+    def allreduce(self, sendobj: Any, op: Op = dt.SUM) -> Any:
+        """Reduce and broadcast the result to every rank."""
+        return self._collective("allreduce", sendobj, op=op)
+
+    def reduce_scatter(self, sendobjs: Sequence[Any], op: Op = dt.SUM) -> Any:
+        """Elementwise reduce a length-``size`` contribution list, then
+        scatter: rank ``r`` returns the reduction of every rank's
+        ``sendobjs[r]`` (``MPI_Reduce_scatter_block``)."""
+        return self._collective("reduce_scatter", sendobjs, op=op)
+
+    def scan(self, sendobj: Any, op: Op = dt.SUM) -> Any:
+        """Inclusive prefix reduction in rank order."""
+        return self._collective("scan", sendobj, op=op)
+
+    def exscan(self, sendobj: Any, op: Op = dt.SUM) -> Any:
+        """Exclusive prefix reduction (rank 0 returns ``None``)."""
+        return self._collective("exscan", sendobj, op=op)
+
+    # -- communicator management -------------------------------------------------
+
+    def split(self, color: Optional[int], key: Optional[int] = None) -> Optional["Comm"]:
+        """Partition the communicator by ``color``; order ranks by ``key``.
+
+        Ranks passing ``color=None`` (``MPI_UNDEFINED``) get ``None`` back.
+        """
+        self._split_count += 1
+        entry = (color, key if key is not None else self._rank, self._rank)
+        entries = self.allgather(entry)
+        if color is None:
+            return None
+        members = sorted(
+            (k, r) for (c, k, r) in entries if c == color
+        )
+        group_world = tuple(self.group[r] for (_k, r) in members)
+        cid = self.world.split_cid(
+            (self.cid, self._split_count, color), group_world
+        )
+        new_rank = [r for (_k, r) in members].index(self._rank)
+        return Comm(self.world, cid, new_rank)
+
+    def dup(self) -> "Comm":
+        """Duplicate the communicator (independent collective sequence)."""
+        new = self.split(color=0, key=self._rank)
+        assert new is not None
+        return new
+
+    def create_cart(self, dims=None, periods=None, ndims: int = 1):
+        """Attach a Cartesian grid topology (``MPI_Cart_create``).
+
+        See :mod:`repro.smpi.topology`; returns a
+        :class:`~repro.smpi.topology.CartComm`.
+        """
+        from repro.smpi.topology import create_cart
+
+        return create_cart(self, dims=dims, periods=periods, ndims=ndims)
+
+    def sendrecv_replace(
+        self,
+        obj: Any,
+        dest: int,
+        sendtag: int = 0,
+        source: int = ANY_SOURCE,
+        recvtag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> Any:
+        """Exchange that reuses one "buffer": send ``obj``, return the
+        received object (``MPI_Sendrecv_replace``)."""
+        return self.sendrecv(obj, dest, sendtag, source, recvtag, status)
+
+    # -- compute charging ---------------------------------------------------------
+
+    def compute(
+        self, flops: float = 0.0, nbytes: float = 0.0, seconds: float = 0.0
+    ) -> float:
+        """Charge a compute phase to this rank's virtual clock.
+
+        ``flops`` and ``nbytes`` go through the roofline model with this
+        rank's current share of node memory bandwidth; ``seconds`` is a
+        floor for fixed overheads.  Returns the charged duration.
+        """
+        model = self.world.compute_model(self._world_rank)
+        dt_roofline = model.time(flops, nbytes) if (flops or nbytes) else 0.0
+        duration = max(dt_roofline, seconds)
+        t0 = self._clock.now
+        self._clock.advance(duration)
+        self.world.tracer.record(
+            self._world_rank, "compute", "compute", int(nbytes), t0, self._clock.now
+        )
+        return duration
+
+    # -- uppercase (buffer) API -----------------------------------------------------
+
+    def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Buffer send (``MPI_Send`` over a numpy array)."""
+        self._send_impl(np.asarray(buf), dest, tag, mode="send", primitive="MPI_Send")
+
+    def Isend(self, buf: np.ndarray, dest: int, tag: int = 0) -> Request:
+        return self._send_impl(
+            np.asarray(buf), dest, tag, mode="isend", primitive="MPI_Isend"
+        )
+
+    def Recv(
+        self,
+        buf: np.ndarray,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> None:
+        """Buffer receive: fills ``buf`` in place; raises
+        :class:`~repro.errors.TruncationError` when the message is larger
+        than the buffer (``MPI_ERR_TRUNCATE``)."""
+        obj = self.recv(source, tag, status)
+        _copy_into_buffer(obj, buf)
+
+    def Irecv(
+        self, buf: np.ndarray, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Request:
+        """Non-blocking buffer receive; ``wait`` fills ``buf``."""
+        req = self.irecv(source, tag)
+        req._recv_buffer = buf  # type: ignore[attr-defined]
+        return req
+
+    def Bcast(self, buf: np.ndarray, root: int = 0) -> None:
+        obj = self.bcast(np.asarray(buf) if self._rank == root else None, root=root)
+        if self._rank != root:
+            _copy_into_buffer(obj, buf)
+
+    def Scatter(
+        self, sendbuf: Optional[np.ndarray], recvbuf: np.ndarray, root: int = 0
+    ) -> None:
+        """Scatter equal slabs of ``sendbuf``'s leading axis from ``root``."""
+        pieces = None
+        if self._rank == root:
+            arr = np.asarray(sendbuf)
+            if arr.shape[0] % self.size != 0:
+                raise SMPIError(
+                    f"Scatter sendbuf leading dimension {arr.shape[0]} not "
+                    f"divisible by {self.size} ranks"
+                )
+            pieces = list(arr.reshape(self.size, -1))
+        piece = self.scatter(pieces, root=root)
+        _copy_into_buffer(piece, recvbuf)
+
+    def Gather(
+        self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray], root: int = 0
+    ) -> None:
+        parts = self.gather(np.asarray(sendbuf), root=root)
+        if self._rank == root:
+            if recvbuf is None:
+                raise SMPIError("Gather root requires a recvbuf")
+            stacked = np.concatenate([np.asarray(p).ravel() for p in parts])
+            _copy_into_buffer(stacked, recvbuf)
+
+    def Allgather(self, sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
+        parts = self.allgather(np.asarray(sendbuf))
+        stacked = np.concatenate([np.asarray(p).ravel() for p in parts])
+        _copy_into_buffer(stacked, recvbuf)
+
+    def Reduce(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: Optional[np.ndarray],
+        op: Op = dt.SUM,
+        root: int = 0,
+    ) -> None:
+        result = self.reduce(np.asarray(sendbuf), op=op, root=root)
+        if self._rank == root:
+            if recvbuf is None:
+                raise SMPIError("Reduce root requires a recvbuf")
+            _copy_into_buffer(result, recvbuf)
+
+    def Allreduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: Op = dt.SUM) -> None:
+        result = self.allreduce(np.asarray(sendbuf), op=op)
+        _copy_into_buffer(result, recvbuf)
+
+
+def _copy_into_buffer(obj: Any, buf: np.ndarray) -> None:
+    """Copy a received object into a user buffer with truncation checks."""
+    arr = np.asarray(obj)
+    out = np.asarray(buf)
+    if arr.nbytes > out.nbytes:
+        raise TruncationError(
+            f"message of {arr.nbytes} bytes does not fit receive buffer of "
+            f"{out.nbytes} bytes"
+        )
+    flat_out = out.reshape(-1)
+    flat_in = arr.astype(out.dtype, copy=False).reshape(-1)
+    flat_out[: flat_in.size] = flat_in

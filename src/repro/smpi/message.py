@@ -1,0 +1,135 @@
+"""Message envelopes and per-rank matching queues.
+
+The matching model is the standard two-queue MPI design:
+
+* every rank has an **unexpected-message queue** holding envelopes that
+  arrived before a matching receive was posted, and
+* a **posted-receive queue** holding receives waiting for a message.
+
+An arriving send first scans the posted queue; a new receive first scans
+the unexpected queue.  Both scans respect MPI's non-overtaking rule:
+messages from the same source with matching tags are received in the
+order they were sent.
+
+All queue state is guarded by the world lock (see
+:mod:`repro.smpi.runtime`), so methods here assume the caller holds it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.smpi.datatypes import ANY_SOURCE, ANY_TAG
+
+_seq_counter = itertools.count()
+
+
+@dataclass
+class Envelope:
+    """One in-flight message (world-rank addressing).
+
+    ``send_time`` is the sender's virtual clock at the send call;
+    ``arrival_time`` is when the payload is fully available at the
+    receiver (eager protocol) or ``None`` until the rendezvous handshake
+    completes.  ``completion_time`` is filled at match time for
+    rendezvous sends so the blocked sender knows when to resume.
+    """
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: int
+    send_time: float
+    net_time: float
+    rendezvous: bool = False
+    arrival_time: Optional[float] = None
+    completion_time: Optional[float] = None
+    comm_cid: int = 0
+    seq: int = field(default_factory=lambda: next(_seq_counter))
+
+    def matches(self, source: int, tag: int, comm_cid: int) -> bool:
+        """Does this envelope satisfy a receive for ``(source, tag)``?"""
+        if comm_cid != self.comm_cid:
+            return False
+        if source != ANY_SOURCE and source != self.source:
+            return False
+        if tag != ANY_TAG and tag != self.tag:
+            return False
+        return True
+
+
+@dataclass
+class PostedRecv:
+    """A posted (possibly non-blocking) receive awaiting a match."""
+
+    dest: int
+    source: int
+    tag: int
+    comm_cid: int
+    post_time: float
+    envelope: Optional[Envelope] = None
+    seq: int = field(default_factory=lambda: next(_seq_counter))
+
+    @property
+    def matched(self) -> bool:
+        return self.envelope is not None
+
+    def accepts(self, env: Envelope) -> bool:
+        return env.matches(self.source, self.tag, self.comm_cid) and env.dest == self.dest
+
+
+class MatchingQueues:
+    """The unexpected-message and posted-receive queues of one rank."""
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.unexpected: list[Envelope] = []
+        self.posted: list[PostedRecv] = []
+
+    def match_arriving(self, env: Envelope) -> Optional[PostedRecv]:
+        """Try to pair an arriving envelope with a posted receive.
+
+        Returns the matched posted receive (removed from the queue), or
+        ``None`` after appending the envelope to the unexpected queue.
+        """
+        for i, pr in enumerate(self.posted):
+            if pr.accepts(env):
+                pr.envelope = env
+                del self.posted[i]
+                return pr
+        self.unexpected.append(env)
+        return None
+
+    def take_unexpected(self, source: int, tag: int, comm_cid: int) -> Optional[Envelope]:
+        """Remove and return the first matching unexpected envelope.
+
+        "First" is in arrival order, which preserves non-overtaking for
+        any fixed source; under ``ANY_SOURCE`` arrival order is the tie
+        breaker, as in a real MPI.
+        """
+        for i, env in enumerate(self.unexpected):
+            if env.matches(source, tag, comm_cid):
+                del self.unexpected[i]
+                return env
+        return None
+
+    def peek_unexpected(self, source: int, tag: int, comm_cid: int) -> Optional[Envelope]:
+        """Return (without removing) the first matching unexpected envelope."""
+        for env in self.unexpected:
+            if env.matches(source, tag, comm_cid):
+                return env
+        return None
+
+    def post(self, pr: PostedRecv) -> None:
+        self.posted.append(pr)
+
+    def cancel(self, pr: PostedRecv) -> bool:
+        """Remove an unmatched posted receive; True if it was removed."""
+        try:
+            self.posted.remove(pr)
+            return True
+        except ValueError:
+            return False

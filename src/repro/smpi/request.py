@@ -1,0 +1,115 @@
+"""Non-blocking communication requests (``MPI_Request`` equivalents).
+
+``isend``/``irecv`` return a :class:`Request`; completion is observed
+with :meth:`Request.wait` / :meth:`Request.test` or the module-level
+:func:`waitall` / :func:`waitany`, mirroring ``MPI_Wait``/``MPI_Test``/
+``MPI_Waitall``/``MPI_Waitany``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, TYPE_CHECKING
+
+from repro.errors import SMPIError
+from repro.smpi.datatypes import Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.smpi.communicator import Comm
+
+
+class Request:
+    """Handle for an outstanding non-blocking send or receive.
+
+    Instances are created by the communicator; user code only calls
+    :meth:`wait` and :meth:`test`.
+    """
+
+    def __init__(self, comm: "Comm", kind: str):
+        self._comm = comm
+        self.kind = kind  # "isend" or "irecv"
+        self._complete = False
+        self._payload: Any = None
+        self._status = Status()
+
+    @property
+    def completed(self) -> bool:
+        return self._complete
+
+    def _finish(self, payload: Any, status: Status) -> None:
+        self._complete = True
+        self._payload = payload
+        self._status = status
+
+    def wait(self, status: Optional[Status] = None) -> Any:
+        """Block until complete; returns the received object for
+        ``irecv`` requests and ``None`` for ``isend`` requests."""
+        if not self._complete:
+            self._comm._wait_request(self)
+        if status is not None:
+            status.source = self._status.source
+            status.tag = self._status.tag
+            status.nbytes = self._status.nbytes
+        return self._payload
+
+    def test(self, status: Optional[Status] = None) -> tuple[bool, Any]:
+        """Non-blocking completion check: ``(flag, payload_or_None)``."""
+        if not self._complete:
+            self._comm._test_request(self)
+        if self._complete and status is not None:
+            status.source = self._status.source
+            status.tag = self._status.tag
+            status.nbytes = self._status.nbytes
+        return (self._complete, self._payload if self._complete else None)
+
+    # mpi4py-style aliases
+    Wait = wait
+    Test = test
+
+
+def waitall(requests: Sequence[Request], statuses: Optional[list[Status]] = None) -> list[Any]:
+    """Wait for every request; returns their payloads in order."""
+    if statuses is not None and len(statuses) != len(requests):
+        raise SMPIError("statuses list must match requests list length")
+    out = []
+    for i, req in enumerate(requests):
+        status = statuses[i] if statuses is not None else None
+        out.append(req.wait(status))
+    return out
+
+
+def testall(
+    requests: Sequence[Request], statuses: Optional[list[Status]] = None
+) -> tuple[bool, Optional[list[Any]]]:
+    """``MPI_Testall``: ``(True, payloads)`` when every request has
+    completed, ``(False, None)`` otherwise (without blocking)."""
+    if statuses is not None and len(statuses) != len(requests):
+        raise SMPIError("statuses list must match requests list length")
+    for req in requests:
+        flag, _ = req.test()
+        if not flag:
+            return (False, None)
+    payloads = []
+    for i, req in enumerate(requests):
+        status = statuses[i] if statuses is not None else None
+        payloads.append(req.wait(status))
+    return (True, payloads)
+
+
+def waitany(requests: Sequence[Request]) -> tuple[int, Any]:
+    """Wait until any request completes; returns ``(index, payload)``.
+
+    Polls test() over the set; inside the simulator a failed poll round
+    blocks on the first incomplete request, which is fair enough for the
+    teaching workloads (and avoids a busy loop).
+    """
+    if not requests:
+        raise SMPIError("waitany over empty request list")
+    while True:
+        for i, req in enumerate(requests):
+            flag, payload = req.test()
+            if flag:
+                return i, payload
+        # Nothing ready: block on the first incomplete one.
+        for i, req in enumerate(requests):
+            if not req.completed:
+                return i, req.wait()

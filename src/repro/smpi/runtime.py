@@ -1,0 +1,340 @@
+"""The simulated-MPI world: rank threads, virtual time, matching, deadlock.
+
+Each rank runs as an OS thread executing ordinary blocking code against a
+:class:`~repro.smpi.communicator.Comm`.  All shared state (matching
+queues, collective contexts, the blocked-rank set) is guarded by one lock
+with a single condition variable; any state change notifies all waiters.
+
+Virtual time: each rank owns a :class:`~repro.smpi.clock.VirtualClock`.
+Point-to-point transfers cost ``alpha + n*beta`` with intra- vs
+inter-node parameters chosen from the rank placement; compute phases are
+charged through the roofline model with the rank's *share* of its node's
+memory bandwidth (see :mod:`repro.cluster.contention`).  Because the
+clock is virtual, experiments are deterministic and a "cluster run" takes
+milliseconds of real time.
+
+Deadlock detection: a rank that blocks registers a ``can_proceed``
+probe.  Whenever every live rank is blocked and no probe is satisfiable,
+the world aborts all ranks with :class:`~repro.errors.DeadlockError`
+describing each rank's blocking call — turning the classic hung ring of
+blocking sends (Module 1) into an immediate, explainable failure.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.cluster.contention import BandwidthArbiter
+from repro.cluster.machine import ClusterSpec, Placement
+from repro.cluster.roofline import ComputeCostModel
+from repro.errors import CommAbortError, DeadlockError, SMPIError
+from repro.smpi.clock import VirtualClock
+from repro.smpi.collectives import CollectiveTable, NetParams
+from repro.smpi.message import Envelope, MatchingQueues, PostedRecv
+from repro.smpi.trace import Tracer
+
+#: hang guard — re-check loop period (real seconds); never hit in practice
+_POLL_TIMEOUT = 10.0
+
+
+@dataclass
+class _BlockInfo:
+    """Bookkeeping for one blocked rank."""
+
+    description: str
+    can_proceed: Callable[[], bool]
+
+
+class World:
+    """Shared state of one simulated MPI job.
+
+    Users normally go through :func:`run` / :func:`launch` rather than
+    constructing a ``World`` directly.
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        *,
+        cluster: Optional[ClusterSpec] = None,
+        placement: Optional[Placement] = None,
+        trace: bool = True,
+        external_demand: Optional[dict[int, float]] = None,
+    ):
+        if nprocs < 1:
+            raise SMPIError(f"nprocs must be >= 1, got {nprocs}")
+        if cluster is None:
+            if placement is not None:
+                cluster = placement.cluster
+            else:
+                node_cores = 32
+                cluster = ClusterSpec.monsoon_like(
+                    num_nodes=max(1, math.ceil(nprocs / node_cores))
+                )
+        if placement is None:
+            placement = Placement.block(cluster, nprocs)
+        if placement.nprocs != nprocs:
+            raise SMPIError(
+                f"placement covers {placement.nprocs} ranks but nprocs={nprocs}"
+            )
+        self.nprocs = nprocs
+        self.cluster = cluster
+        self.placement = placement
+        self.arbiter = BandwidthArbiter(cluster, placement)
+        if external_demand:
+            for node, demand in external_demand.items():
+                self.arbiter.set_external_demand(node, demand)
+        self.tracer = Tracer(trace)
+
+        self.lock = threading.Lock()
+        self.cond = threading.Condition(self.lock)
+        self.queues = [MatchingQueues(r) for r in range(nprocs)]
+        self.clocks = [VirtualClock() for _ in range(nprocs)]
+        self.live: set[int] = set(range(nprocs))
+        self.blocked: dict[int, _BlockInfo] = {}
+        self.abort_exc: Optional[BaseException] = None
+        self.abort_origin: str = ""
+
+        self._coll_tables: dict[int, CollectiveTable] = {}
+        self._comm_groups: dict[int, tuple[int, ...]] = {}
+        self._next_cid = 0
+        self._split_cids: dict[tuple, int] = {}
+
+    # -- communicator/group registry ------------------------------------
+
+    def new_comm_cid(self, group: Sequence[int]) -> int:
+        """Register a communicator group; returns its context id."""
+        with self.lock:
+            return self._register_group_locked(tuple(group))
+
+    def _register_group_locked(self, group: tuple[int, ...]) -> int:
+        cid = self._next_cid
+        self._next_cid += 1
+        self._comm_groups[cid] = group
+        self._coll_tables[cid] = CollectiveTable(len(group))
+        return cid
+
+    def split_cid(self, key: tuple, group: tuple[int, ...]) -> int:
+        """Idempotently allocate a cid for a split/dup result group.
+
+        All member ranks compute the same ``key`` from allgathered data,
+        so the first caller allocates and the rest reuse.
+        """
+        with self.lock:
+            cid = self._split_cids.get(key)
+            if cid is None:
+                cid = self._register_group_locked(group)
+                self._split_cids[key] = cid
+            return cid
+
+    def group_of(self, cid: int) -> tuple[int, ...]:
+        return self._comm_groups[cid]
+
+    def coll_table(self, cid: int) -> CollectiveTable:
+        return self._coll_tables[cid]
+
+    # -- cost helpers ----------------------------------------------------
+
+    def ptp_net_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Transfer time of one ``nbytes`` message between world ranks."""
+        same = self.placement.same_node(src, dst)
+        return self.cluster.network.ptp_time(nbytes, same_node=same)
+
+    def ptp_overhead(self, src: int, dst: int) -> float:
+        """Sender-side cost of injecting one message (the alpha term)."""
+        net = self.cluster.network
+        return net.alpha_intra if self.placement.same_node(src, dst) else net.alpha_inter
+
+    def net_params(self, group: Sequence[int]) -> NetParams:
+        """Effective Hockney parameters for a collective over ``group``."""
+        nodes = {self.placement.node(r) for r in group}
+        net = self.cluster.network
+        if len(nodes) > 1:
+            return NetParams(alpha=net.alpha_inter, beta=net.beta_inter)
+        return NetParams(alpha=net.alpha_intra, beta=net.beta_intra)
+
+    def compute_model(self, rank: int) -> ComputeCostModel:
+        """Roofline model with this rank's current bandwidth share."""
+        return ComputeCostModel(
+            flops_per_s=self.cluster.node.flops_per_core,
+            bandwidth=self.arbiter.bandwidth_share(rank),
+        )
+
+    def is_rendezvous(self, nbytes: int) -> bool:
+        return nbytes > self.cluster.network.eager_threshold
+
+    # -- blocking / deadlock ----------------------------------------------
+
+    def check_abort_locked(self) -> None:
+        if self.abort_exc is not None:
+            if isinstance(self.abort_exc, DeadlockError):
+                raise self.abort_exc
+            raise CommAbortError(
+                f"world aborted ({self.abort_origin}): {self.abort_exc!r}"
+            )
+
+    def block(
+        self,
+        rank: int,
+        take: Callable[[], Any],
+        can_proceed: Callable[[], bool],
+        description: str,
+    ) -> Any:
+        """Block ``rank`` until ``take()`` returns non-None.
+
+        ``take`` both checks and consumes (e.g. removes a matched
+        envelope); ``can_proceed`` is a side-effect-free satisfiability
+        probe used by the deadlock detector.  Caller must hold the world
+        lock.
+        """
+        while True:
+            self.check_abort_locked()
+            result = take()
+            if result is not None:
+                return result
+            self.blocked[rank] = _BlockInfo(description, can_proceed)
+            self._deadlock_check_locked()
+            try:
+                self.cond.wait(timeout=_POLL_TIMEOUT)
+            finally:
+                self.blocked.pop(rank, None)
+
+    def _deadlock_check_locked(self) -> None:
+        if self.abort_exc is not None:
+            return
+        if not self.live or len(self.blocked) < len(self.live):
+            return
+        if any(info.can_proceed() for info in self.blocked.values()):
+            return
+        lines = [
+            f"  rank {rank}: {info.description}"
+            for rank, info in sorted(self.blocked.items())
+        ]
+        self.abort_exc = DeadlockError(
+            "deadlock detected — every live rank is blocked and no message "
+            "can ever arrive:\n" + "\n".join(lines)
+        )
+        self.abort_origin = "deadlock"
+        self.cond.notify_all()
+
+    def abort(self, exc: BaseException, origin: str) -> None:
+        """Abort the world (first error wins); wakes every blocked rank."""
+        with self.lock:
+            if self.abort_exc is None:
+                self.abort_exc = exc
+                self.abort_origin = origin
+            self.cond.notify_all()
+
+    def finish_rank(self, rank: int) -> None:
+        """Mark a rank's main function as returned."""
+        with self.lock:
+            self.live.discard(rank)
+            self._deadlock_check_locked()
+            self.cond.notify_all()
+
+    # -- point-to-point internals -----------------------------------------
+
+    def deliver_locked(self, env: Envelope) -> Optional[PostedRecv]:
+        """Hand an envelope to its destination (caller holds the lock).
+
+        A rendezvous message that finds a *pre-posted* receive starts
+        transferring immediately (the handshake completes at match
+        time), which is what lets ``irecv``-before-``isend`` overlap
+        communication with computation exactly as on a real MPI.
+        """
+        pr = self.queues[env.dest].match_arriving(env)
+        if pr is not None and env.rendezvous and env.completion_time is None:
+            env.completion_time = max(env.send_time, pr.post_time) + env.net_time
+            env.arrival_time = env.completion_time
+        self.cond.notify_all()
+        return pr
+
+    def elapsed(self) -> float:
+        """Virtual makespan: the maximum rank clock (the job's runtime)."""
+        return max(c.now for c in self.clocks)
+
+    def rank_time(self, rank: int) -> float:
+        return self.clocks[rank].now
+
+
+@dataclass
+class RunResult:
+    """Everything :func:`launch` returns about a finished world."""
+
+    results: list[Any]
+    world: World
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual makespan of the job (seconds)."""
+        return self.world.elapsed()
+
+    @property
+    def tracer(self) -> Tracer:
+        return self.world.tracer
+
+
+def launch(
+    nprocs: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    cluster: Optional[ClusterSpec] = None,
+    placement: Optional[Placement] = None,
+    trace: bool = True,
+    external_demand: Optional[dict[int, float]] = None,
+    **kwargs: Any,
+) -> RunResult:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
+
+    Returns a :class:`RunResult` carrying per-rank return values plus the
+    world (clocks, tracer) for performance analysis.  Any exception in a
+    rank aborts the whole job and is re-raised here; a detected deadlock
+    raises :class:`~repro.errors.DeadlockError`.
+    """
+    from repro.smpi.communicator import Comm  # local import breaks the cycle
+
+    world = World(
+        nprocs,
+        cluster=cluster,
+        placement=placement,
+        trace=trace,
+        external_demand=external_demand,
+    )
+    world_cid = world.new_comm_cid(range(nprocs))
+    comms = [Comm(world, world_cid, rank) for rank in range(nprocs)]
+    results: list[Any] = [None] * nprocs
+
+    def _main(rank: int) -> None:
+        try:
+            results[rank] = fn(comms[rank], *args, **kwargs)
+        except CommAbortError:
+            pass  # collateral damage of another rank's failure
+        except BaseException as exc:  # noqa: BLE001 - must propagate any error
+            world.abort(exc, f"rank {rank}")
+        finally:
+            world.finish_rank(rank)
+
+    threads = [
+        threading.Thread(target=_main, args=(rank,), name=f"smpi-rank-{rank}")
+        for rank in range(nprocs)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if world.abort_exc is not None:
+        raise world.abort_exc
+    return RunResult(results=results, world=world)
+
+
+def run(
+    nprocs: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    **kwargs: Any,
+) -> list[Any]:
+    """Like :func:`launch` but returns only the per-rank return values."""
+    return launch(nprocs, fn, *args, **kwargs).results

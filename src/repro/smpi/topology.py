@@ -1,0 +1,161 @@
+"""Cartesian process topologies (``MPI_Cart_create`` and friends).
+
+Grid topologies are the idiom behind halo exchanges and the Module 1
+ring (a 1-d periodic grid); the latency-hiding extension module
+(:mod:`repro.modules.module6_overlap`) is built on them.
+
+API follows mpi4py: :meth:`Comm.create_cart` returns a
+:class:`CartComm` with ``dims``/``periods``/``coords``, ``Get_coords``,
+``Shift`` and the usual communicator interface (it *is* a ``Comm``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.errors import SMPIError, ValidationError
+from repro.smpi.communicator import Comm
+from repro.smpi.datatypes import PROC_NULL
+
+
+def compute_dims(nnodes: int, ndims: int) -> list[int]:
+    """Balanced factorization of ``nnodes`` into ``ndims`` factors
+    (``MPI_Dims_create``): factors as close to equal as possible,
+    sorted non-increasing."""
+    if nnodes < 1:
+        raise ValidationError(f"nnodes must be >= 1, got {nnodes}")
+    if ndims < 1:
+        raise ValidationError(f"ndims must be >= 1, got {ndims}")
+    dims = [1] * ndims
+    remaining = nnodes
+    # Repeatedly peel the largest prime factor onto the smallest dim.
+    factors: list[int] = []
+    f = 2
+    while f * f <= remaining:
+        while remaining % f == 0:
+            factors.append(f)
+            remaining //= f
+        f += 1
+    if remaining > 1:
+        factors.append(remaining)
+    for factor in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= factor
+    return sorted(dims, reverse=True)
+
+
+class CartComm(Comm):
+    """A communicator with an attached Cartesian grid.
+
+    Ranks are laid out row-major over ``dims`` (the MPI convention):
+    the last dimension varies fastest.
+    """
+
+    def __init__(
+        self,
+        world,
+        cid: int,
+        rank: int,
+        dims: Sequence[int],
+        periods: Sequence[bool],
+    ):
+        super().__init__(world, cid, rank)
+        self.dims = tuple(int(d) for d in dims)
+        self.periods = tuple(bool(p) for p in periods)
+        if len(self.dims) != len(self.periods):
+            raise ValidationError("dims and periods must have equal length")
+        if math.prod(self.dims) != self.size:
+            raise SMPIError(
+                f"grid {self.dims} has {math.prod(self.dims)} slots for "
+                f"{self.size} ranks"
+            )
+
+    @property
+    def ndims(self) -> int:
+        return len(self.dims)
+
+    @property
+    def coords(self) -> tuple[int, ...]:
+        """This rank's grid coordinates."""
+        return self.Get_coords(self.rank)
+
+    def Get_coords(self, rank: int) -> tuple[int, ...]:
+        """Coordinates of ``rank`` (row-major layout)."""
+        if not 0 <= rank < self.size:
+            raise ValidationError(f"rank {rank} out of range for size {self.size}")
+        out = []
+        remainder = rank
+        for extent in reversed(self.dims):
+            out.append(remainder % extent)
+            remainder //= extent
+        return tuple(reversed(out))
+
+    def Get_cart_rank(self, coords: Sequence[int]) -> int:
+        """Rank at ``coords``; periodic dimensions wrap, non-periodic
+        out-of-range coordinates raise."""
+        if len(coords) != self.ndims:
+            raise ValidationError(
+                f"expected {self.ndims} coordinates, got {len(coords)}"
+            )
+        rank = 0
+        for c, extent, periodic in zip(coords, self.dims, self.periods):
+            c = int(c)
+            if periodic:
+                c %= extent
+            elif not 0 <= c < extent:
+                raise ValidationError(
+                    f"coordinate {c} out of [0, {extent}) on a non-periodic axis"
+                )
+            rank = rank * extent + c
+        return rank
+
+    def Shift(self, direction: int, disp: int = 1) -> tuple[int, int]:
+        """``(source, dest)`` ranks for a shift along ``direction``.
+
+        Mirrors ``MPI_Cart_shift``: off-grid neighbours on non-periodic
+        axes come back as ``PROC_NULL``.
+        """
+        if not 0 <= direction < self.ndims:
+            raise ValidationError(
+                f"direction must be in [0, {self.ndims}), got {direction}"
+            )
+        me = list(self.coords)
+
+        def neighbour(offset: int) -> int:
+            coords = list(me)
+            coords[direction] += offset
+            extent = self.dims[direction]
+            if self.periods[direction]:
+                coords[direction] %= extent
+            elif not 0 <= coords[direction] < extent:
+                return PROC_NULL
+            return self.Get_cart_rank(coords)
+
+        return neighbour(-disp), neighbour(+disp)
+
+
+def create_cart(
+    comm: Comm,
+    dims: Optional[Sequence[int]] = None,
+    periods: Optional[Sequence[bool]] = None,
+    ndims: int = 1,
+) -> CartComm:
+    """Attach a Cartesian grid to ``comm``'s group (``MPI_Cart_create``).
+
+    ``dims`` defaults to a balanced :func:`compute_dims` factorization;
+    ``periods`` defaults to all-periodic (the ring/torus case the
+    modules use).
+    """
+    if dims is None:
+        dims = compute_dims(comm.size, ndims)
+    if periods is None:
+        periods = [True] * len(dims)
+    if math.prod(dims) != comm.size:
+        raise SMPIError(
+            f"cannot map {comm.size} ranks onto a {tuple(dims)} grid"
+        )
+    # One collective so all ranks agree this is the same cart; reuse the
+    # split machinery for a fresh context id.
+    sub = comm.split(color=0, key=comm.rank)
+    assert sub is not None
+    return CartComm(sub.world, sub.cid, sub.rank, dims, periods)

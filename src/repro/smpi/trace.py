@@ -1,0 +1,133 @@
+"""Primitive-usage and time tracing.
+
+The tracer serves two reproduction duties:
+
+* **Table II verification** — every communicator call records the MPI
+  primitive name it corresponds to, so the benchmark can check that each
+  module implementation actually uses the primitives the paper's table
+  says it needs (`MPI_Scatter` in Module 2, `MPI_Reduce` in Modules 2–4,
+  ...).
+* **Module 5's compute-vs-communication breakdown** — every event carries
+  virtual start/end times classified as ``compute``, ``p2p`` or
+  ``collective``, from which the k-means benchmark derives the fraction
+  of time spent communicating as a function of ``k``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced operation on one rank (virtual times in seconds)."""
+
+    rank: int
+    category: str  # "compute" | "p2p" | "collective"
+    primitive: str  # e.g. "MPI_Send", "MPI_Allreduce", "compute"
+    nbytes: int
+    t_start: float
+    t_end: float
+    peer: int = -1
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass
+class TraceSummary:
+    """Aggregated view of a trace (optionally restricted to one rank)."""
+
+    compute_time: float = 0.0
+    p2p_time: float = 0.0
+    collective_time: float = 0.0
+    bytes_sent: int = 0
+    messages_sent: int = 0
+    primitive_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def comm_time(self) -> float:
+        return self.p2p_time + self.collective_time
+
+    @property
+    def total_time(self) -> float:
+        return self.compute_time + self.comm_time
+
+    @property
+    def comm_fraction(self) -> float:
+        total = self.total_time
+        return self.comm_time / total if total > 0 else 0.0
+
+
+class Tracer:
+    """Thread-safe event recorder shared by all ranks of a world."""
+
+    #: primitives that represent an outgoing message (counted as volume)
+    _SEND_LIKE = frozenset(
+        {"MPI_Send", "MPI_Isend", "MPI_Ssend", "MPI_Bsend", "MPI_Sendrecv"}
+    )
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._events: list[TraceEvent] = []
+        self._lock = threading.Lock()
+
+    def record(
+        self,
+        rank: int,
+        category: str,
+        primitive: str,
+        nbytes: int,
+        t_start: float,
+        t_end: float,
+        peer: int = -1,
+    ) -> None:
+        if not self.enabled:
+            return
+        event = TraceEvent(rank, category, primitive, nbytes, t_start, t_end, peer)
+        with self._lock:
+            self._events.append(event)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def primitives_used(self, rank: Optional[int] = None) -> set[str]:
+        """Names of MPI primitives any (or one) rank invoked."""
+        return {
+            e.primitive
+            for e in self.events
+            if e.category != "compute" and (rank is None or e.rank == rank)
+        }
+
+    def summary(self, rank: Optional[int] = None) -> TraceSummary:
+        """Aggregate times/volumes over all events (or one rank's)."""
+        out = TraceSummary()
+        for e in self.events:
+            if rank is not None and e.rank != rank:
+                continue
+            if e.category == "compute":
+                out.compute_time += e.duration
+            elif e.category == "p2p":
+                out.p2p_time += e.duration
+            elif e.category == "collective":
+                out.collective_time += e.duration
+            if e.primitive in self._SEND_LIKE:
+                out.bytes_sent += e.nbytes
+                out.messages_sent += 1
+            if e.category != "compute":
+                out.primitive_counts[e.primitive] = (
+                    out.primitive_counts.get(e.primitive, 0) + 1
+                )
+        return out
+
+    def events_for(self, rank: int) -> Iterable[TraceEvent]:
+        return (e for e in self.events if e.rank == rank)

@@ -1,0 +1,25 @@
+"""Spatial indexing: R-tree (the Module 4 handout), kd-tree, quadtree.
+
+Module 4 supplies students an R-tree to contrast against brute force;
+the paper also cites kd-trees and quadtrees as the standard alternatives,
+so all three are implemented with one query interface.  Every index
+counts the work it does (:class:`QueryStats`: nodes visited, entries
+checked), which is what the cost model uses to show that the R-tree is
+*faster but memory-bound* while brute force is *slower but compute-bound*
+— the module's central lesson.
+"""
+
+from repro.spatial.geometry import Rect, QueryStats
+from repro.spatial.bruteforce import BruteForceIndex
+from repro.spatial.rtree import RTree
+from repro.spatial.kdtree import KDTree
+from repro.spatial.quadtree import QuadTree
+
+__all__ = [
+    "Rect",
+    "QueryStats",
+    "BruteForceIndex",
+    "RTree",
+    "KDTree",
+    "QuadTree",
+]

@@ -1,0 +1,72 @@
+"""Brute-force range scanning — Module 4 activity 1.
+
+No index, no pruning: every query tests every point.  Fully vectorized
+(the guides' rule: no Python loops in hot paths), so at teaching scale it
+is *absolutely* fast in real time while being *algorithmically* the
+expensive baseline the module contrasts against the R-tree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.spatial.geometry import QueryStats, Rect
+from repro.util.validation import check_points
+
+
+class BruteForceIndex:
+    """The non-index: linear scans with the shared query interface."""
+
+    def __init__(self, points: np.ndarray):
+        self.points = check_points("points", points)
+        self.dims = self.points.shape[1]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def query_range(self, rect: Rect, stats: Optional[QueryStats] = None) -> np.ndarray:
+        """Indices of all points inside ``rect`` (inclusive bounds)."""
+        if rect.dims != self.dims:
+            raise ValidationError(f"query rect has {rect.dims} dims, index has {self.dims}")
+        mask = rect.contains_points(self.points)
+        out = np.flatnonzero(mask).astype(np.int64)
+        if stats is not None:
+            stats.nodes_visited += 1
+            stats.entries_checked += len(self.points)
+            stats.results += len(out)
+        return out
+
+    def query_knn(
+        self, point, k: int, stats: Optional[QueryStats] = None
+    ) -> np.ndarray:
+        """Indices of the ``k`` nearest points to ``point`` (ascending
+        distance; ties broken by index)."""
+        p = np.asarray(point, dtype=np.float64)
+        if p.shape != (self.dims,):
+            raise ValidationError(f"query point must have {self.dims} dims")
+        if k <= 0:
+            raise ValidationError(f"k must be positive, got {k}")
+        k = min(k, len(self.points))
+        d2 = np.einsum("ij,ij->i", self.points - p, self.points - p)
+        # argpartition then a stable sort of the head: deterministic ties.
+        head = np.argpartition(d2, k - 1)[:k]
+        order = np.lexsort((head, d2[head]))
+        if stats is not None:
+            stats.nodes_visited += 1
+            stats.entries_checked += len(self.points)
+            stats.results += k
+        return head[order].astype(np.int64)
+
+    def query_count(self, rect: Rect, stats: Optional[QueryStats] = None) -> int:
+        """Number of points inside ``rect`` without materializing indices."""
+        if rect.dims != self.dims:
+            raise ValidationError(f"query rect has {rect.dims} dims, index has {self.dims}")
+        count = int(rect.contains_points(self.points).sum())
+        if stats is not None:
+            stats.nodes_visited += 1
+            stats.entries_checked += len(self.points)
+            stats.results += count
+        return count

@@ -1,0 +1,38 @@
+"""Shared utilities: seeded RNG, validation, text tables, ASCII plots."""
+
+from repro.util.rng import spawn_rng, derive_seed
+from repro.util.validation import (
+    require,
+    check_positive,
+    check_nonnegative,
+    check_in_range,
+    check_points,
+)
+from repro.util.tables import TextTable
+from repro.util.asciiplot import ascii_bars, ascii_series, grouped_bars
+from repro.util.stats import (
+    mean,
+    relative_change,
+    load_imbalance_factor,
+    speedup_curve,
+    parallel_efficiency,
+)
+
+__all__ = [
+    "spawn_rng",
+    "derive_seed",
+    "require",
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_points",
+    "TextTable",
+    "ascii_bars",
+    "ascii_series",
+    "grouped_bars",
+    "mean",
+    "relative_change",
+    "load_imbalance_factor",
+    "speedup_curve",
+    "parallel_efficiency",
+]

@@ -1,0 +1,106 @@
+"""ASCII bar charts and line series for regenerating the paper's figures
+in a terminal (Figure 1 speedup curves, Figure 2 pre/post quiz bars)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    vmax: float | None = None,
+    unit: str = "",
+) -> str:
+    """Render a horizontal bar chart.
+
+    ``vmax`` fixes the full-scale value (defaults to ``max(values)``), so
+    several charts can share an axis.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return "(empty chart)"
+    scale = vmax if vmax is not None else max(max(values), 1e-12)
+    label_w = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        n = int(round(width * min(value, scale) / scale)) if scale > 0 else 0
+        bar = "#" * n
+        lines.append(f"{str(label).rjust(label_w)} |{bar.ljust(width)}| {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 50,
+    vmax: float | None = None,
+    unit: str = "",
+) -> str:
+    """Render grouped horizontal bars — one bar per (label, series) pair.
+
+    Used for Figure 2: per student, one "pre" bar and one "post" bar.
+    """
+    names = list(series)
+    all_vals = [v for vals in series.values() for v in vals]
+    if not all_vals:
+        return "(empty chart)"
+    scale = vmax if vmax is not None else max(max(all_vals), 1e-12)
+    name_w = max(len(n) for n in names)
+    label_w = max(len(str(l)) for l in labels)
+    lines = []
+    for i, label in enumerate(labels):
+        for name in names:
+            value = series[name][i]
+            n = int(round(width * min(value, scale) / scale)) if scale > 0 else 0
+            lines.append(
+                f"{str(label).rjust(label_w)} {name.ljust(name_w)} "
+                f"|{('#' * n).ljust(width)}| {value:.4g}{unit}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def ascii_series(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    height: int = 16,
+    width: int = 64,
+    ylabel: str = "",
+) -> str:
+    """Render one or more (x, y) series as a scatter of per-series glyphs.
+
+    Good enough to show the *shape* of a speedup curve (Figure 1): linear
+    vs plateauing is obvious at a glance.
+    """
+    glyphs = "ox+*%@&"
+    ys = [v for vals in series.values() for v in vals]
+    if not ys:
+        return "(empty plot)"
+    ymax = max(max(ys), 1e-12)
+    xmin, xmax = min(x), max(x)
+    span = (xmax - xmin) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, vals) in enumerate(series.items()):
+        g = glyphs[si % len(glyphs)]
+        for xi, yi in zip(x, vals):
+            col = int(round((xi - xmin) / span * (width - 1)))
+            row = height - 1 - int(round(min(yi, ymax) / ymax * (height - 1)))
+            grid[row][col] = g
+    lines = [f"{ymax:8.3g} ┤" + "".join(grid[0])]
+    for r in range(1, height - 1):
+        lines.append(" " * 8 + " ┤" + "".join(grid[r]))
+    lines.append(f"{0:8.3g} ┤" + "".join(grid[height - 1]))
+    lines.append(" " * 9 + "└" + "─" * width)
+    lines.append(" " * 10 + f"{xmin:<10.4g}{' ' * max(0, width - 20)}{xmax:>10.4g}")
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} = {name}" for i, name in enumerate(series)
+    )
+    if ylabel:
+        legend = f"y: {ylabel}   " + legend
+    return "\n".join(lines + [legend])

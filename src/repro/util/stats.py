@@ -1,0 +1,64 @@
+"""Small statistics helpers shared by the harness and the edu package."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input (silent NaN hides bugs)."""
+    if len(values) == 0:
+        raise ValidationError("mean of empty sequence")
+    return float(np.mean(np.asarray(values, dtype=np.float64)))
+
+
+def relative_change(before: float, after: float, *, denominator: str = "after") -> float:
+    """``|after - before| / denom`` — the paper's relative-change measure.
+
+    The paper's Table IV formula divides by ``b_j``, which the text pairs
+    with *post* scores, so the default denominator is ``"after"``; pass
+    ``denominator="before"`` for the conventional pre-normalized variant.
+    """
+    denom = after if denominator == "after" else before
+    if denom == 0:
+        raise ValidationError("relative change undefined for zero denominator")
+    return abs(after - before) / denom
+
+
+def load_imbalance_factor(loads: Sequence[float]) -> float:
+    """``max(load) / mean(load)`` — 1.0 is perfectly balanced.
+
+    The standard imbalance metric for Module 3's bucket-sort activities.
+    """
+    arr = np.asarray(loads, dtype=np.float64)
+    if arr.size == 0:
+        raise ValidationError("imbalance of empty load vector")
+    m = arr.mean()
+    if m <= 0:
+        raise ValidationError("imbalance undefined for non-positive mean load")
+    return float(arr.max() / m)
+
+
+def speedup_curve(times: Mapping[int, float]) -> dict[int, float]:
+    """Speedup ``T(p_min)/T(p)`` for a strong-scaling run keyed by rank count.
+
+    The baseline is the smallest rank count present (usually 1).
+    """
+    if not times:
+        raise ValidationError("speedup of empty timing map")
+    base_p = min(times)
+    base_t = times[base_p]
+    if base_t <= 0:
+        raise ValidationError("baseline time must be positive")
+    return {p: base_t / t for p, t in sorted(times.items())}
+
+
+def parallel_efficiency(times: Mapping[int, float]) -> dict[int, float]:
+    """Efficiency ``speedup(p) * p_min / p`` for a strong-scaling run."""
+    sp = speedup_curve(times)
+    base_p = min(times)
+    return {p: s * base_p / p for p, s in sp.items()}

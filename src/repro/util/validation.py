@@ -1,0 +1,55 @@
+"""Argument-validation helpers.
+
+These raise :class:`repro.errors.ValidationError` (a ``ValueError``
+subclass) with messages that name the offending argument, which keeps the
+call sites one line each.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def check_positive(name: str, value: float) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValidationError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonnegative(name: str, value: float) -> None:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValidationError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> None:
+    """Require ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValidationError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def check_points(name: str, points: Any, dims: int | None = None) -> np.ndarray:
+    """Validate a 2-d float point array and return it as ``float64``.
+
+    ``dims`` optionally pins the required dimensionality.
+    """
+    arr = np.asarray(points, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be a 2-d array of points, got ndim={arr.ndim}")
+    if arr.shape[0] == 0:
+        raise ValidationError(f"{name} must contain at least one point")
+    if dims is not None and arr.shape[1] != dims:
+        raise ValidationError(f"{name} must have {dims} dimensions, got {arr.shape[1]}")
+    if not np.isfinite(arr).all():
+        raise ValidationError(f"{name} contains non-finite values")
+    return arr

@@ -1,0 +1,82 @@
+"""Tests for memory-bandwidth contention — the mechanism behind Module 4
+activity 3 and the Figure 1 co-scheduling scenario."""
+
+import pytest
+
+from repro.cluster import BandwidthArbiter, ClusterSpec, NodeSpec, Placement
+
+
+def make(nprocs, *, spread=False, nodes=2, cores=8):
+    spec = ClusterSpec(num_nodes=nodes, node=NodeSpec(cores=cores))
+    pl = (
+        Placement.spread(spec, nprocs, nodes=nodes)
+        if spread
+        else Placement.block(spec, nprocs)
+    )
+    return spec, BandwidthArbiter(spec, pl)
+
+
+def test_single_rank_capped_by_core_bandwidth():
+    """One core cannot saturate the memory controller."""
+    spec, arb = make(1)
+    assert arb.bandwidth_share(0) == pytest.approx(spec.node.core_mem_bandwidth)
+    assert arb.bandwidth_share(0) < spec.node.mem_bandwidth
+
+
+def test_packed_ranks_share_bandwidth():
+    spec, arb = make(8)  # 8 ranks, block => all on node 0
+    assert arb.bandwidth_share(0) == pytest.approx(spec.node.mem_bandwidth / 8)
+
+
+def test_saturation_point():
+    """Below the saturation rank count, each rank gets its core cap."""
+    spec, arb = make(2)
+    # 2 ranks: node bw / 2 exceeds the core cap, so the cap binds.
+    assert arb.bandwidth_share(0) == pytest.approx(spec.node.core_mem_bandwidth)
+
+
+def test_spread_beats_packed_aggregate():
+    """The Module 4 activity 3 lesson: p ranks on 2 nodes have twice the
+    aggregate bandwidth of p ranks packed on 1 node."""
+    _, packed = make(8, cores=8, nodes=2)  # block -> all 8 on node 0
+    _, spread = make(8, spread=True, cores=8, nodes=2)
+    assert packed.aggregate_bandwidth() * 2 == pytest.approx(
+        spread.aggregate_bandwidth()
+    )
+
+
+def test_external_demand_shrinks_share():
+    spec, arb = make(2)
+    before = arb.bandwidth_share(0)
+    arb.set_external_demand(0, 6.0)  # a co-scheduled 6-rank-equivalent job
+    after = arb.bandwidth_share(0)
+    assert after == pytest.approx(spec.node.mem_bandwidth / 8)
+    assert after < before
+
+
+def test_external_demand_other_node_no_effect():
+    _, arb = make(2)
+    before = arb.bandwidth_share(0)
+    arb.set_external_demand(1, 10.0)
+    assert arb.bandwidth_share(0) == before
+
+
+def test_node_demand():
+    _, arb = make(3)
+    assert arb.node_demand(0) == 3
+    arb.set_external_demand(0, 1.5)
+    assert arb.node_demand(0) == 4.5
+
+
+def test_negative_demand_rejected():
+    _, arb = make(1)
+    with pytest.raises(Exception):
+        arb.set_external_demand(0, -1)
+
+
+def test_aggregate_with_external_demand():
+    spec, arb = make(4, cores=8, nodes=2)  # 4 ranks packed on node 0
+    base = arb.aggregate_bandwidth()
+    assert base == pytest.approx(spec.node.mem_bandwidth)  # exactly saturated
+    arb.set_external_demand(0, 4.0)
+    assert arb.aggregate_bandwidth() == pytest.approx(base / 2)

@@ -1,0 +1,83 @@
+"""Tests for the cluster machine model and placements."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.cluster import ClusterSpec, NodeSpec, NetworkSpec, Placement
+
+
+def test_defaults_are_valid():
+    spec = ClusterSpec()
+    assert spec.total_cores == spec.num_nodes * spec.node.cores
+
+
+def test_monsoon_like():
+    spec = ClusterSpec.monsoon_like(num_nodes=2)
+    assert spec.node.cores == 32
+    assert spec.total_cores == 64
+
+
+def test_invalid_node_spec():
+    with pytest.raises(ValidationError):
+        NodeSpec(cores=0)
+    with pytest.raises(ValidationError):
+        NodeSpec(mem_bandwidth=-1)
+
+
+def test_network_ptp_time_scales_with_size():
+    net = NetworkSpec()
+    small = net.ptp_time(100, same_node=True)
+    large = net.ptp_time(10_000, same_node=True)
+    assert large > small
+
+
+def test_network_inter_slower_than_intra():
+    net = NetworkSpec()
+    assert net.ptp_time(4096, same_node=False) > net.ptp_time(4096, same_node=True)
+
+
+def test_block_placement_packs():
+    spec = ClusterSpec(num_nodes=2, node=NodeSpec(cores=4))
+    pl = Placement.block(spec, 6)
+    assert [pl.node(r) for r in range(6)] == [0, 0, 0, 0, 1, 1]
+    assert pl.ranks_on_node(0) == 4
+    assert pl.ranks_on_node(1) == 2
+    assert pl.nodes_used == 2
+
+
+def test_spread_placement_round_robins():
+    spec = ClusterSpec(num_nodes=2, node=NodeSpec(cores=4))
+    pl = Placement.spread(spec, 6)
+    assert [pl.node(r) for r in range(6)] == [0, 1, 0, 1, 0, 1]
+    assert pl.ranks_on_node(0) == 3
+
+
+def test_spread_limited_nodes():
+    spec = ClusterSpec(num_nodes=4, node=NodeSpec(cores=4))
+    pl = Placement.spread(spec, 4, nodes=2)
+    assert pl.nodes_used == 2
+
+
+def test_same_node():
+    spec = ClusterSpec(num_nodes=2, node=NodeSpec(cores=4))
+    pl = Placement.block(spec, 8)
+    assert pl.same_node(0, 3)
+    assert not pl.same_node(0, 4)
+
+
+def test_placement_overflow_rejected():
+    spec = ClusterSpec(num_nodes=1, node=NodeSpec(cores=4))
+    with pytest.raises(ValidationError):
+        Placement.block(spec, 5)
+
+
+def test_placement_explicit_bad_node():
+    spec = ClusterSpec(num_nodes=1, node=NodeSpec(cores=4))
+    with pytest.raises(ValidationError):
+        Placement(spec, [0, 1])
+
+
+def test_placement_node_capacity_enforced():
+    spec = ClusterSpec(num_nodes=2, node=NodeSpec(cores=2))
+    with pytest.raises(ValidationError):
+        Placement(spec, [0, 0, 0])

@@ -1,0 +1,54 @@
+"""Tests for the roofline cost model."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.cluster import ComputeCostModel, operational_intensity
+
+
+def test_compute_bound_time():
+    m = ComputeCostModel(flops_per_s=1e9, bandwidth=1e9)
+    # High intensity: flops dominate.
+    assert m.time(flops=2e9, nbytes=1e6) == pytest.approx(2.0)
+
+
+def test_memory_bound_time():
+    m = ComputeCostModel(flops_per_s=1e9, bandwidth=1e8)
+    # Low intensity: bytes dominate.
+    assert m.time(flops=1e3, nbytes=1e9) == pytest.approx(10.0)
+
+
+def test_zero_work_is_free():
+    m = ComputeCostModel(flops_per_s=1e9, bandwidth=1e9)
+    assert m.time() == 0.0
+
+
+def test_bound_classification():
+    m = ComputeCostModel(flops_per_s=1e10, bandwidth=1e10)  # ridge at 1 flop/B
+    assert m.bound(flops=100, nbytes=10) == "compute"
+    assert m.bound(flops=10, nbytes=100) == "memory"
+    assert m.bound(flops=5, nbytes=0) == "compute"
+    assert m.bound(flops=0, nbytes=5) == "memory"
+
+
+def test_bandwidth_halving_doubles_memory_bound_time():
+    fast = ComputeCostModel(flops_per_s=1e12, bandwidth=2e9)
+    slow = ComputeCostModel(flops_per_s=1e12, bandwidth=1e9)
+    assert slow.time(nbytes=1e9) == pytest.approx(2 * fast.time(nbytes=1e9))
+
+
+def test_operational_intensity():
+    assert operational_intensity(100, 50) == 2.0
+    with pytest.raises(ValidationError):
+        operational_intensity(1, 0)
+
+
+def test_invalid_model():
+    with pytest.raises(ValidationError):
+        ComputeCostModel(flops_per_s=0, bandwidth=1)
+
+
+def test_negative_work_rejected():
+    m = ComputeCostModel(flops_per_s=1, bandwidth=1)
+    with pytest.raises(ValidationError):
+        m.time(flops=-1)

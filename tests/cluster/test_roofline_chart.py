@@ -1,0 +1,56 @@
+"""Tests for the roofline chart and the module-kernel placement."""
+
+import pytest
+
+from repro.cluster import ComputeCostModel, render_roofline
+from repro.errors import ValidationError
+from repro.harness.kernels import module_kernel_roofline, module_kernels
+
+
+def test_attainable_and_ridge():
+    m = ComputeCostModel(flops_per_s=1e10, bandwidth=1e9)
+    assert m.ridge_intensity == pytest.approx(10.0)
+    assert m.attainable(1.0) == pytest.approx(1e9)
+    assert m.attainable(100.0) == pytest.approx(1e10)
+
+
+def test_render_places_kernels():
+    m = ComputeCostModel(flops_per_s=2e10, bandwidth=2e10)
+    text = render_roofline(m, {"hot": (100.0, 1.0), "cold": (1.0, 100.0)})
+    assert "a = hot" in text and "b = cold" in text
+    assert "compute-bound" in text and "memory-bound" in text
+    assert "ridge" in text
+
+
+def test_render_empty_rejected():
+    m = ComputeCostModel(flops_per_s=1e9, bandwidth=1e9)
+    with pytest.raises(ValidationError):
+        render_roofline(m, {})
+
+
+def test_module_kernels_classification():
+    """The chart must encode the paper's claims: tiled distance matrix
+    and brute-force scan compute-bound; sort, R-tree, row-wise memory-
+    bound (at a single rank's bandwidth share)."""
+    m = ComputeCostModel(flops_per_s=2e10, bandwidth=2e10)
+    kernels = module_kernels()
+    assert m.bound(*kernels["M2 distance matrix, tiled"]) == "compute"
+    assert m.bound(*kernels["M4 brute-force scan"]) == "compute"
+    assert m.bound(*kernels["M2 distance matrix, row-wise"]) == "memory"
+    assert m.bound(*kernels["M3 bucket sort"]) == "memory"
+    assert m.bound(*kernels["M4 R-tree traversal"]) == "memory"
+
+
+def test_module_kernel_roofline_renders():
+    text = module_kernel_roofline()
+    assert "M3 bucket sort" in text
+    assert "M2 distance matrix, tiled" in text
+
+
+def test_packed_node_lowers_the_roof():
+    solo = module_kernel_roofline(ranks_on_node=1)
+    packed = module_kernel_roofline(ranks_on_node=32)
+    # The ridge shifts right as the bandwidth share shrinks.
+    ridge_solo = float(solo.splitlines()[0].split("ridge at ")[1].split(" ")[0])
+    ridge_packed = float(packed.splitlines()[0].split("ridge at ")[1].split(" ")[0])
+    assert ridge_packed > ridge_solo

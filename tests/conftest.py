@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, NodeSpec, NetworkSpec, Placement
+
+
+@pytest.fixture
+def small_cluster() -> ClusterSpec:
+    """A 2-node, 8-core-per-node cluster — fast to simulate."""
+    return ClusterSpec(num_nodes=2, node=NodeSpec(cores=8))
+
+
+@pytest.fixture
+def one_node_cluster() -> ClusterSpec:
+    return ClusterSpec(num_nodes=1, node=NodeSpec(cores=8))
+
+
+@pytest.fixture
+def tiny_eager_cluster() -> ClusterSpec:
+    """Cluster with a tiny eager threshold so rendezvous kicks in early."""
+    return ClusterSpec(
+        num_nodes=1,
+        node=NodeSpec(cores=8),
+        network=NetworkSpec(eager_threshold=64),
+    )

@@ -1,0 +1,71 @@
+"""Tests for the synthetic asteroid catalog (Module 4 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.data import asteroid_catalog, asteroid_query_boxes, AsteroidCatalog
+
+
+def test_catalog_shapes():
+    cat = asteroid_catalog(1000, seed=1)
+    assert len(cat) == 1000
+    assert cat.points.shape == (1000, 2)
+
+
+def test_catalog_value_ranges():
+    cat = asteroid_catalog(5000, seed=2)
+    assert cat.amplitude.min() >= 0.01
+    assert cat.amplitude.max() <= 3.0
+    assert cat.period.min() >= 2.0
+    assert cat.period.max() <= 1000.0
+
+
+def test_catalog_deterministic():
+    a = asteroid_catalog(100, seed=7)
+    b = asteroid_catalog(100, seed=7)
+    assert np.array_equal(a.amplitude, b.amplitude)
+    assert np.array_equal(a.period, b.period)
+
+
+def test_catalog_amplitude_skew():
+    """Most asteroids vary little: median well below the max."""
+    cat = asteroid_catalog(10_000, seed=0)
+    assert np.median(cat.amplitude) < 0.5
+
+
+def test_mismatched_columns_rejected():
+    with pytest.raises(ValidationError):
+        AsteroidCatalog(amplitude=np.ones(3), period=np.ones(4))
+
+
+def test_query_boxes_shape_and_order():
+    boxes = asteroid_query_boxes(50, seed=1)
+    assert boxes.shape == (50, 2, 2)
+    assert (boxes[:, :, 0] <= boxes[:, :, 1]).all()
+
+
+def test_query_boxes_within_catalog_space():
+    boxes = asteroid_query_boxes(100, seed=0)
+    assert boxes[:, 0, 0].min() >= 0.01 - 1e-9
+    assert boxes[:, 0, 1].max() <= 3.0 + 1e-9
+    assert boxes[:, 1, 0].min() >= 2.0 - 1e-9
+    assert boxes[:, 1, 1].max() <= 1000.0 + 1e-9
+
+
+def test_paper_example_query_selects_something():
+    """'Amplitude 0.2-1.0 and period 30-100 h' returns a nonempty,
+    non-total subset on a realistic catalog."""
+    cat = asteroid_catalog(20_000, seed=0)
+    mask = (
+        (cat.amplitude >= 0.2)
+        & (cat.amplitude <= 1.0)
+        & (cat.period >= 30)
+        & (cat.period <= 100)
+    )
+    assert 0 < mask.sum() < len(cat)
+
+
+def test_selectivity_scale_validation():
+    with pytest.raises(ValidationError):
+        asteroid_query_boxes(5, selectivity_scale=0.0)

@@ -1,0 +1,104 @@
+"""Tests for dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.data import (
+    uniform_points,
+    uniform_values,
+    exponential_values,
+    gaussian_mixture,
+    feature_vectors,
+    block_partition,
+    partition_points,
+)
+
+
+def test_uniform_points_shape_and_range():
+    pts = uniform_points(100, 3, low=-1, high=2, seed=1)
+    assert pts.shape == (100, 3)
+    assert pts.min() >= -1 and pts.max() < 2
+
+
+def test_uniform_points_deterministic():
+    assert np.array_equal(uniform_points(10, 2, seed=5), uniform_points(10, 2, seed=5))
+
+
+def test_uniform_values_range():
+    v = uniform_values(1000, low=10, high=20, seed=0)
+    assert v.min() >= 10 and v.max() < 20
+
+
+def test_exponential_values_skew():
+    v = exponential_values(10_000, scale=1.0, seed=0)
+    assert (v < 1.0).mean() > 0.55  # heavy mass near zero
+    assert v.min() >= 0
+
+
+def test_exponential_scale():
+    v = exponential_values(50_000, scale=4.0, seed=0)
+    assert v.mean() == pytest.approx(4.0, rel=0.05)
+
+
+def test_gaussian_mixture_structure():
+    pts, labels, centers = gaussian_mixture(500, 4, 2, spread=0.01, seed=3)
+    assert pts.shape == (500, 2)
+    assert labels.shape == (500,)
+    assert centers.shape == (4, 2)
+    assert set(np.unique(labels)) <= set(range(4))
+    # Points sit close to their true centers for tiny spread.
+    dists = np.linalg.norm(pts - centers[labels], axis=1)
+    assert dists.max() < 0.1
+
+
+def test_gaussian_mixture_too_many_clusters():
+    with pytest.raises(ValidationError):
+        gaussian_mixture(3, 5)
+
+
+def test_feature_vectors_default_90d():
+    x = feature_vectors(50)
+    assert x.shape == (50, 90)
+
+
+def test_feature_vectors_has_structure():
+    """Low-rank structure => top singular values dominate."""
+    x = feature_vectors(200, 90, seed=0)
+    s = np.linalg.svd(x - x.mean(axis=0), compute_uv=False)
+    assert s[0] / s[30] > 5
+
+
+def test_block_partition_covers_everything():
+    n, p = 17, 5
+    seen = []
+    for r in range(p):
+        sl = block_partition(n, p, r)
+        seen.extend(range(n)[sl])
+    assert seen == list(range(n))
+
+
+def test_block_partition_balanced():
+    sizes = [len(range(100)[block_partition(100, 8, r)]) for r in range(8)]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_block_partition_bad_rank():
+    with pytest.raises(ValidationError):
+        block_partition(10, 2, 2)
+
+
+def test_partition_points_roundtrip():
+    pts = uniform_points(23, 2, seed=0)
+    chunks = partition_points(pts, 4)
+    assert sum(len(c) for c in chunks) == 23
+    assert np.array_equal(np.vstack(chunks), pts)
+
+
+def test_invalid_sizes():
+    with pytest.raises(ValidationError):
+        uniform_points(0, 2)
+    with pytest.raises(ValidationError):
+        exponential_values(10, scale=0)
+    with pytest.raises(ValidationError):
+        uniform_values(5, low=1, high=1)

@@ -1,0 +1,36 @@
+"""Tests for the Table III cohort."""
+
+from repro.edu import COHORT, demographics_counts, render_table3
+from repro.edu.cohort import cs_background_count
+
+
+def test_ten_students():
+    assert len(COHORT) == 10
+    assert [s.sid for s in COHORT] == list(range(1, 11))
+
+
+def test_demographics_match_table3():
+    counts = demographics_counts()
+    assert counts["Computer Science (BS)"] == 1
+    assert counts["Computer Science (MS)"] == 1
+    assert counts["Electrical Engineering (MS)"] == 2
+    assert counts["Astronomy & Planetary Science (PhD)"] == 1
+    assert counts["Informatics & Computing (PhD)"] == 5
+
+
+def test_inf_phd_subfields():
+    subs = sorted(
+        s.subfield for s in COHORT if s.program.startswith("Informatics")
+    )
+    assert subs == ["CS", "EE", "EE", "bioinformatics", "ecoinformatics"]
+
+
+def test_only_30_percent_cs():
+    assert cs_background_count() == 3
+
+
+def test_render_table3():
+    text = render_table3()
+    assert "Table III" in text
+    assert "Informatics & Computing (PhD)" in text
+    assert "2xEE" in text

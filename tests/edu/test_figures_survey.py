@@ -1,0 +1,57 @@
+"""Tests for figure rendering and survey data."""
+
+from repro.edu import (
+    SURVEY_FINDINGS,
+    QuizPair,
+    figure1_speedup_curves,
+    render_figure1,
+    render_figure2,
+)
+from repro.edu.survey import (
+    DIFFICULTY_POLL,
+    FAVORITE_MODULE_VOTES,
+    LEAST_FAVORITE_VOTES,
+    MOST_CHALLENGING_VOTES,
+)
+
+
+def test_render_figure2_groups_by_quiz():
+    pairs = [
+        QuizPair(1, 1, 50, 100),
+        QuizPair(2, 1, 60, 60),
+        QuizPair(1, 2, 40, 80),
+    ]
+    text = render_figure2(pairs)
+    assert "Quiz 1" in text and "Quiz 2" in text
+    assert "student 1" in text and "student 2" in text
+    assert "pre" in text and "post" in text
+
+
+def test_render_figure1_shows_both_programs():
+    curves = {
+        "Program 1": ([1, 2, 4], [1.0, 1.5, 2.0]),
+        "Program 2": ([1, 2, 4], [1.0, 2.0, 3.9]),
+    }
+    text = render_figure1(curves)
+    assert "Program 1" in text and "Program 2" in text
+    assert "speedup" in text
+
+
+def test_survey_difficulty_poll_sums_to_cohort():
+    assert sum(DIFFICULTY_POLL.values()) == 10
+
+
+def test_survey_least_favorite_votes():
+    assert LEAST_FAVORITE_VOTES == {1: 2, 2: 1, 3: 1, 4: 2, 5: 1}
+    assert sum(LEAST_FAVORITE_VOTES.values()) == 7
+
+
+def test_survey_module_votes():
+    assert FAVORITE_MODULE_VOTES[5] == 4
+    assert MOST_CHALLENGING_VOTES[2] == 4
+
+
+def test_survey_findings_cover_paper_sections():
+    questions = " ".join(f.question for f in SURVEY_FINDINGS).lower()
+    for topic in ("difficulty", "favorite", "challenging"):
+        assert topic in questions

@@ -1,0 +1,76 @@
+"""Tests for Hake normalized learning gains."""
+
+import pytest
+
+from repro.edu import (
+    QuizPair,
+    mean_normalized_gain,
+    normalized_gain,
+    reconstruct_cohort_scores,
+)
+from repro.edu.stats import class_normalized_gain
+from repro.errors import ValidationError
+
+
+def test_gain_basic():
+    assert normalized_gain(50, 75) == pytest.approx(0.5)
+    assert normalized_gain(0, 100) == pytest.approx(1.0)
+    assert normalized_gain(80, 80) == 0.0
+
+
+def test_gain_negative_when_score_drops():
+    assert normalized_gain(50, 25) == pytest.approx(-0.5)
+
+
+def test_gain_undefined_at_perfect_pre():
+    assert normalized_gain(100, 100) is None
+
+
+def test_gain_validation():
+    with pytest.raises(ValidationError):
+        normalized_gain(-1, 50)
+    with pytest.raises(ValidationError):
+        normalized_gain(50, 101)
+
+
+def test_mean_gain():
+    pairs = [QuizPair(1, 1, 50, 75), QuizPair(2, 1, 0, 50)]
+    assert mean_normalized_gain(pairs) == pytest.approx((0.5 + 0.5) / 2)
+
+
+def test_mean_gain_skips_perfect_pre():
+    pairs = [QuizPair(1, 1, 100, 100), QuizPair(2, 1, 50, 100)]
+    assert mean_normalized_gain(pairs) == pytest.approx(1.0)
+
+
+def test_mean_gain_all_undefined():
+    with pytest.raises(ValidationError):
+        mean_normalized_gain([QuizPair(1, 1, 100, 100)])
+
+
+def test_class_gain_basic():
+    pairs = [QuizPair(1, 1, 40, 70), QuizPair(2, 1, 60, 90)]
+    # <pre>=50, <post>=80 -> g = 30/50
+    assert class_normalized_gain(pairs) == pytest.approx(0.6)
+
+
+def test_class_gain_validation():
+    with pytest.raises(ValidationError):
+        class_normalized_gain([])
+    with pytest.raises(ValidationError):
+        class_normalized_gain([QuizPair(1, 1, 100, 100)])
+
+
+def test_cohort_class_gains_match_paper_story():
+    """Class-level Hake gains per quiz: positive for quizzes 1-4 (means
+    rose), slightly negative for quiz 5 (80.21% -> 79.17%)."""
+    rec = reconstruct_cohort_scores()
+    by_quiz = {}
+    for p in rec.pairs:
+        by_quiz.setdefault(p.quiz, []).append(p)
+    for quiz in (1, 2, 3, 4):
+        assert class_normalized_gain(by_quiz[quiz]) > 0.0, quiz
+    assert class_normalized_gain(by_quiz[5]) < 0.0
+    # Quiz 1's gain is the largest: 88.89 -> 98.15 near the ceiling.
+    gains = {q: class_normalized_gain(ps) for q, ps in by_quiz.items()}
+    assert gains[1] == max(gains.values())

@@ -1,0 +1,58 @@
+"""Tests for the quiz model and the Figure 1 example question."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.edu import QUIZZES, QuizPair, example_question_module4
+from repro.edu.quiz import quiz
+
+
+def test_five_quizzes_map_to_modules():
+    assert [q.number for q in QUIZZES] == [1, 2, 3, 4, 5]
+    assert [q.module for q in QUIZZES] == [1, 2, 3, 4, 5]
+
+
+def test_inferred_point_totals():
+    assert [q.points for q in QUIZZES] == [6, 5, 200, 4, 12]
+
+
+def test_quiz_lookup():
+    assert quiz(4).topic.startswith("range")
+    with pytest.raises(ValidationError):
+        quiz(6)
+
+
+def test_pair_direction():
+    assert QuizPair(1, 1, 50, 80).direction == "increase"
+    assert QuizPair(1, 1, 80, 50).direction == "decrease"
+    assert QuizPair(1, 1, 70, 70).direction == "equal"
+
+
+def test_pair_validation():
+    with pytest.raises(ValidationError):
+        QuizPair(1, 1, -1, 50)
+    with pytest.raises(ValidationError):
+        QuizPair(1, 1, 10, 101)
+
+
+def test_example_question_answer_is_program2():
+    """The paper's §IV-B answer: Program 2 / Compute Node 2."""
+    question = example_question_module4()
+    assert question.options[question.correct_option] == "Program 2 / Compute Node 2"
+    assert "terrible twins" in question.explanation
+    assert "32-core" in question.prompt
+
+
+def test_example_question_with_custom_curves():
+    cores = [1, 4, 16]
+    curves = {
+        "A": (cores, [1, 3.8, 15.0]),  # compute-bound
+        "B": (cores, [1, 2.0, 3.0]),  # memory-bound
+    }
+    question = example_question_module4(curves)
+    assert question.options[question.correct_option] == "A"
+
+
+def test_example_question_requires_two_programs():
+    with pytest.raises(ValidationError):
+        example_question_module4({"only": ([1], [1.0])})

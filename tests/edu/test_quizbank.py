@@ -1,0 +1,86 @@
+"""Tests for the derived-answer quiz bank."""
+
+import pytest
+
+from repro.edu import build_quiz_bank, grade, questions_for_quiz
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return build_quiz_bank()
+
+
+def test_bank_covers_all_five_quizzes(bank):
+    assert {q.quiz for q in bank} == {1, 2, 3, 4, 5}
+    for quiz in range(1, 6):
+        assert len(questions_for_quiz(bank, quiz)) >= 2
+
+
+def test_answer_indices_valid(bank):
+    for q in bank:
+        assert 0 <= q.answer_index < len(q.options)
+        assert q.prompt and q.explanation
+
+
+def test_most_answers_are_derived(bank):
+    derived = sum(1 for q in bank if q.derived)
+    assert derived >= len(bank) - 2
+
+
+def test_ring_questions_derive_the_protocol_split(bank):
+    q_large = next(q for q in bank if q.quiz == 1 and q.number == 1)
+    q_small = next(q for q in bank if q.quiz == 1 and q.number == 2)
+    assert q_large.options[q_large.answer_index] == "it deadlocks"
+    assert q_small.options[q_small.answer_index] == "it completes normally"
+
+
+def test_tile_question_picks_largest_fitting_tile(bank):
+    q = next(q for q in bank if q.quiz == 2 and q.number == 1)
+    assert q.options[q.answer_index] == "1024"
+
+
+def test_imbalance_question(bank):
+    q = next(q for q in bank if q.quiz == 3 and q.number == 1)
+    assert q.options[q.answer_index] == "exponential"
+
+
+def test_coschedule_question_answer(bank):
+    q = next(q for q in bank if q.quiz == 4 and q.number == 1)
+    assert q.options[q.answer_index] == "Program 2 / Compute Node 2"
+
+
+def test_node_count_question(bank):
+    q = next(q for q in bank if q.quiz == 4 and q.number == 2)
+    assert q.options[q.answer_index] == "2 nodes"
+
+
+def test_kmeans_questions(bank):
+    q1 = next(q for q in bank if q.quiz == 5 and q.number == 1)
+    q2 = next(q for q in bank if q.quiz == 5 and q.number == 2)
+    assert q1.options[q1.answer_index] == "communication"
+    assert q2.options[q2.answer_index] == "weighted means"
+
+
+def test_grade_perfect(bank):
+    responses = {(q.quiz, q.number): q.answer_index for q in bank}
+    scores = grade(bank, responses)
+    assert all(score == 100.0 for score in scores.values())
+
+
+def test_grade_partial_and_blank(bank):
+    q1 = questions_for_quiz(bank, 1)
+    responses = {(1, q1[0].number): q1[0].answer_index}  # one right, rest blank
+    scores = grade(bank, responses)
+    assert scores[1] == pytest.approx(100.0 / len(q1))
+    assert scores[2] == 0.0
+
+
+def test_grade_rejects_out_of_range(bank):
+    with pytest.raises(ValidationError):
+        grade(bank, {(1, 1): 99})
+
+
+def test_questions_for_missing_quiz(bank):
+    with pytest.raises(ValidationError):
+        questions_for_quiz(bank, 9)

@@ -1,0 +1,125 @@
+"""Tests for the Figure 2 / Table IV cohort reconstruction."""
+
+import pytest
+
+from repro.edu import PAPER_TABLE4, compute_table4, reconstruct_cohort_scores
+from repro.edu.reconstruct import PAPER_SPEC
+
+
+@pytest.fixture(scope="module")
+def reconstruction():
+    # Cached across the module (and lru-cached in the package).
+    return reconstruct_cohort_scores()
+
+
+def test_spec_is_internally_consistent():
+    # Participation counts match the 42-pair total and the inferred
+    # per-quiz denominators.
+    counts = [len(qt.participants) for qt in PAPER_SPEC.quizzes]
+    assert counts == [9, 9, 9, 7, 8]
+    assert sum(counts) == 42
+    # Exactly 7 students appear in all five quizzes.
+    from collections import Counter
+
+    c = Counter(s for qt in PAPER_SPEC.quizzes for s in qt.participants)
+    assert sum(1 for v in c.values() if v == 5) == 7
+
+
+def test_spec_means_match_paper():
+    for qt, (pre, post) in zip(
+        PAPER_SPEC.quizzes,
+        [(88.89, 98.15), (82.22, 88.89), (69.50, 77.78), (60.71, 67.86), (80.21, 79.17)],
+    ):
+        n = len(qt.participants)
+        assert 100 * qt.pre_sum / (n * qt.points) == pytest.approx(pre, abs=0.005)
+        assert 100 * qt.post_sum / (n * qt.points) == pytest.approx(post, abs=0.005)
+
+
+def test_reconstruction_satisfies_discrete_constraints(reconstruction):
+    stats = compute_table4(reconstruction.pairs)
+    assert stats.total_pairs == 42
+    assert stats.equal == 17
+    assert stats.increase == 19
+    assert stats.decrease == 6
+
+
+def test_reconstruction_matches_per_quiz_means(reconstruction):
+    stats = compute_table4(reconstruction.pairs)
+    for q in range(1, 6):
+        assert stats.quiz_pre_means[q] == pytest.approx(
+            PAPER_TABLE4.quiz_pre_means[q], abs=0.01
+        )
+        assert stats.quiz_post_means[q] == pytest.approx(
+            PAPER_TABLE4.quiz_post_means[q], abs=0.01
+        )
+
+
+def test_reconstruction_rel_changes_close(reconstruction):
+    stats = compute_table4(reconstruction.pairs)
+    assert abs(stats.mean_rel_increase - 47.86) < 0.15
+    assert abs(stats.mean_rel_decrease - 27.30) < 0.15
+    assert reconstruction.rel_increase_error < 0.15
+    assert reconstruction.rel_decrease_error < 0.15
+
+
+def test_monotone_students_never_decrease(reconstruction):
+    for p in reconstruction.pairs:
+        if p.student in {2, 5, 6, 8, 9, 10}:
+            assert p.direction != "decrease", p
+
+
+def test_decrease_students_each_decrease(reconstruction):
+    decreased = {p.student for p in reconstruction.pairs if p.direction == "decrease"}
+    assert decreased == {1, 3, 4, 7} or decreased <= {1, 3, 4, 7} and len(decreased) == 4
+
+
+def test_scores_are_valid_percentages(reconstruction):
+    for p in reconstruction.pairs:
+        assert 0.0 <= p.pre <= 100.0
+        assert 0.0 <= p.post <= 100.0
+
+
+def test_scores_on_the_quiz_grid(reconstruction):
+    from repro.edu.quiz import quiz
+
+    for p in reconstruction.pairs:
+        points = quiz(p.quiz).points
+        for value in (p.pre, p.post):
+            raw = value * points / 100.0
+            assert abs(raw - round(raw)) < 1e-9, (p, raw)
+
+
+def test_deterministic(reconstruction):
+    again = reconstruct_cohort_scores()
+    assert again.pairs == reconstruction.pairs
+
+
+def test_infeasible_spec_is_rejected():
+    """A contradictory aggregate spec must raise, not be approximated."""
+    from dataclasses import replace
+
+    from repro.edu.reconstruct import solve_reconstruction
+    from repro.errors import ReconstructionError
+
+    impossible = replace(PAPER_SPEC, equal=42, increase=42, decrease=42)
+    with pytest.raises(ReconstructionError):
+        solve_reconstruction(impossible, iterations=2_000)
+
+
+def test_monotone_conflict_rejected():
+    """Requiring a decrease from a student in the never-decrease set
+    cannot be satisfied."""
+    from dataclasses import replace
+
+    from repro.edu.reconstruct import solve_reconstruction
+    from repro.errors import ReconstructionError
+
+    conflicted = replace(
+        PAPER_SPEC,
+        monotone_students=frozenset(range(1, 11)),  # nobody may decrease
+        decrease=6,  # ...but six pairs must
+        increase=19,
+        equal=17,
+    )
+    with pytest.raises(ReconstructionError):
+        solve_reconstruction(conflicted, iterations=2_000)

@@ -1,0 +1,36 @@
+"""Tests for the full Section IV report generator."""
+
+import pytest
+
+from repro.edu.report import full_evaluation_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return full_evaluation_report()
+
+
+def test_report_contains_every_artifact(report):
+    assert "Table III" in report
+    assert "Table IV" in report
+    assert "Program 1 / Compute Node 1" in report
+    assert "Quiz 5" in report  # Figure 2 blocks
+    assert "Free-response survey" in report
+
+
+def test_report_states_the_quiz_answer(report):
+    assert "correct answer: Program 2 / Compute Node 2" in report
+
+
+def test_report_includes_paper_numbers(report):
+    for token in ("47.86%", "88.89%", "27.30%"):
+        assert token in report
+
+
+def test_report_hake_gains_supplementary(report):
+    assert "normalized gain" in report
+    assert "Supplementary analysis" in report
+
+
+def test_report_methodology_note(report):
+    assert "no-stakes" in report.lower() or "no-stakes" in report

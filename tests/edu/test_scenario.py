@@ -1,0 +1,46 @@
+"""Tests for the Figure 1 scenario generation."""
+
+import pytest
+
+from repro.edu import answer_figure1_question, figure1_speedup_curves
+from repro.edu.scenario import FIGURE1_CORES
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return figure1_speedup_curves()
+
+
+def test_two_programs(curves):
+    assert set(curves) == {"Program 1 / Compute Node 1", "Program 2 / Compute Node 2"}
+
+
+def test_core_counts(curves):
+    cores, _ = curves["Program 1 / Compute Node 1"]
+    assert tuple(cores) == FIGURE1_CORES
+    assert cores[-1] == 20  # "both programs only use 20 of 32 cores"
+
+
+def test_program1_plateaus(curves):
+    _, speedup = curves["Program 1 / Compute Node 1"]
+    assert speedup[0] == pytest.approx(1.0)
+    assert speedup[-1] < 6.0  # flat well below 20
+    # The plateau: the last few points barely move.
+    assert speedup[-1] - speedup[-3] < 1.0
+
+
+def test_program2_near_linear(curves):
+    cores, speedup = curves["Program 2 / Compute Node 2"]
+    assert speedup[-1] > 0.75 * cores[-1]
+
+
+def test_speedups_monotone_nondecreasing(curves):
+    for _, sp in curves.values():
+        assert all(b >= a - 0.2 for a, b in zip(sp, sp[1:]))
+
+
+def test_answer_is_program2_node2(curves):
+    advice = answer_figure1_question(curves)
+    assert advice.share_with == "Program 2 / Compute Node 2"
+    assert advice.classifications["Program 1 / Compute Node 1"] == "memory-bound"
+    assert advice.classifications["Program 2 / Compute Node 2"] == "compute-bound"

@@ -1,0 +1,73 @@
+"""Tests for the Table IV statistics engine."""
+
+import pytest
+
+from repro.edu import QuizPair, compute_table4, render_table4_comparison, PAPER_TABLE4
+from repro.edu.stats import Table4Stats
+from repro.errors import ValidationError
+
+
+def make_pairs():
+    return [
+        QuizPair(1, 1, 50.0, 100.0),  # increase, rel = 50/100 = 50%
+        QuizPair(2, 1, 80.0, 60.0),  # decrease, rel = 20/60 = 33.33%
+        QuizPair(3, 1, 70.0, 70.0),  # equal
+        QuizPair(1, 2, 40.0, 80.0),  # increase, rel = 40/80 = 50%
+    ]
+
+
+def test_counts():
+    s = compute_table4(make_pairs())
+    assert s.total_pairs == 4
+    assert s.increase == 2
+    assert s.decrease == 1
+    assert s.equal == 1
+
+
+def test_paper_formula_post_denominator():
+    s = compute_table4(make_pairs())
+    assert s.mean_rel_increase == pytest.approx(50.0)
+    assert s.mean_rel_decrease == pytest.approx(100.0 * 20 / 60)
+
+
+def test_pre_normalized_variant():
+    s = compute_table4(make_pairs())
+    # increases: 50/50 and 40/40 -> 100% each
+    assert s.mean_rel_increase_pre_norm == pytest.approx(100.0)
+    assert s.mean_rel_decrease_pre_norm == pytest.approx(25.0)
+
+
+def test_pre_norm_skips_zero_pre():
+    pairs = [QuizPair(1, 1, 0.0, 50.0), QuizPair(2, 1, 50.0, 100.0)]
+    s = compute_table4(pairs)
+    assert s.mean_rel_increase_pre_norm == pytest.approx(100.0)  # only 2nd pair
+
+
+def test_strict_zero_post_raises():
+    pairs = [QuizPair(1, 1, 50.0, 0.0)]
+    with pytest.raises(ValidationError):
+        compute_table4(pairs)
+
+
+def test_per_quiz_means():
+    s = compute_table4(make_pairs())
+    assert s.quiz_pre_means[1] == pytest.approx((50 + 80 + 70) / 3)
+    assert s.quiz_post_means[2] == pytest.approx(80.0)
+
+
+def test_empty_raises():
+    with pytest.raises(ValidationError):
+        compute_table4([])
+
+
+def test_paper_constants():
+    assert PAPER_TABLE4.total_pairs == 42
+    assert PAPER_TABLE4.equal + PAPER_TABLE4.increase + PAPER_TABLE4.decrease == 42
+    assert PAPER_TABLE4.quiz_pre_means[4] == 60.71
+
+
+def test_render_comparison():
+    s = compute_table4(make_pairs())
+    text = render_table4_comparison(s)
+    assert "Paper" in text and "Measured" in text
+    assert "47.86%" in text

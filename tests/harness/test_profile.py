@@ -1,0 +1,83 @@
+"""Tests for the run → workload-profile bridge (layers integration)."""
+
+import pytest
+
+from repro import smpi
+from repro.cluster import ClusterSpec, NodeSpec, Placement
+from repro.errors import ValidationError
+from repro.harness.profile import memory_bound_fraction, profile_from_run
+from repro.slurm import Scheduler, JobSpec
+
+
+SPEC = ClusterSpec(num_nodes=1, node=NodeSpec(cores=8))
+
+
+def compute_heavy(comm):
+    comm.compute(flops=1e9)
+    comm.barrier()
+
+
+def memory_heavy(comm):
+    comm.compute(nbytes=1e9)
+    comm.barrier()
+
+
+def test_compute_heavy_low_demand():
+    out = smpi.launch(4, compute_heavy, cluster=SPEC)
+    assert memory_bound_fraction(out) < 0.2
+
+
+def test_memory_heavy_high_demand():
+    out = smpi.launch(4, memory_heavy, cluster=SPEC)
+    assert memory_bound_fraction(out) > 0.8
+
+
+def test_profile_from_run_fields():
+    out = smpi.launch(2, memory_heavy, cluster=SPEC)
+    profile = profile_from_run(out)
+    assert profile.base_runtime == pytest.approx(out.elapsed)
+    assert 0.0 <= profile.mem_demand <= 1.0
+
+
+def test_untraced_run_rejected():
+    out = smpi.launch(2, compute_heavy, cluster=SPEC, trace=False)
+    with pytest.raises(ValidationError):
+        profile_from_run(out)
+
+
+def test_module_runs_classify_as_the_paper_says():
+    """Module 2 (tiled) measures compute-bound; Module 3 memory-bound."""
+    from repro.modules.module2_distance import distributed_distance_matrix
+    from repro.modules.module3_sort import sort_activity
+
+    spec = ClusterSpec.monsoon_like(num_nodes=1)
+    m2 = smpi.launch(
+        8, distributed_distance_matrix, n=2048, dims=90, tile=128,
+        cluster=spec, placement=Placement.block(spec, 8),
+    )
+    m3 = smpi.launch(
+        8, sort_activity, n_per_rank=30_000, distribution="uniform",
+        method="equal", seed=1,
+        cluster=spec, placement=Placement.block(spec, 8),
+    )
+    assert memory_bound_fraction(m2) < 0.5
+    assert memory_bound_fraction(m3) > 0.5
+    assert memory_bound_fraction(m3) > memory_bound_fraction(m2)
+
+
+def test_measured_profiles_predict_coscheduling():
+    """Close the Figure 1 loop: profiles measured from real runs show
+    the terrible-twins asymmetry in the scheduler."""
+    mem = profile_from_run(smpi.launch(4, memory_heavy, cluster=SPEC))
+    cpu = profile_from_run(smpi.launch(4, compute_heavy, cluster=SPEC))
+
+    def coschedule(a, b):
+        sched = Scheduler(num_nodes=1, cores_per_node=8)
+        job = sched.submit(JobSpec("a", a, ntasks=4, time_limit=1e6))
+        sched.submit(JobSpec("b", b, ntasks=4, time_limit=1e6))
+        sched.run()
+        return sched.record(job).elapsed / a.base_runtime
+
+    twins = coschedule(mem, mem)
+    mixed = coschedule(mem, cpu)
+    assert twins > mixed

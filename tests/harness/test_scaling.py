@@ -1,0 +1,96 @@
+"""Tests for the scaling harness."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, NodeSpec
+from repro.errors import ValidationError
+from repro.harness import run_node_sweep, run_strong_scaling
+
+
+def compute_worker(comm, flops=1e10):
+    comm.compute(flops=flops / comm.size)
+    comm.barrier()
+
+
+def stream_worker(comm, nbytes=1e11):
+    comm.compute(nbytes=nbytes / comm.size)
+    comm.barrier()
+
+
+def test_strong_scaling_compute_bound():
+    spec = ClusterSpec(num_nodes=1, node=NodeSpec(cores=8))
+    res = run_strong_scaling(compute_worker, (1, 2, 4, 8), cluster=spec)
+    assert res.speedup[8] > 7.5
+    assert res.efficiency[8] > 0.9
+    assert res.max_speedup == res.speedup[8]
+
+
+def test_strong_scaling_memory_bound_plateaus():
+    spec = ClusterSpec(num_nodes=1, node=NodeSpec(cores=8))
+    res = run_strong_scaling(stream_worker, (1, 2, 4, 8), cluster=spec)
+    assert res.speedup[4] == pytest.approx(4.0, rel=0.05)  # up to saturation
+    assert res.speedup[8] == pytest.approx(4.0, rel=0.05)  # then flat
+
+
+def test_spread_placement():
+    spec = ClusterSpec(num_nodes=2, node=NodeSpec(cores=8))
+    packed = run_strong_scaling(stream_worker, (8,), cluster=spec, placement="block")
+    spread = run_strong_scaling(
+        stream_worker, (8,), cluster=spec, placement="spread", nodes=2
+    )
+    assert spread.times[8] < packed.times[8]
+
+
+def test_empty_plist_rejected():
+    with pytest.raises(ValidationError):
+        run_strong_scaling(compute_worker, ())
+
+
+def test_bad_placement_rejected():
+    with pytest.raises(ValidationError):
+        run_strong_scaling(compute_worker, (1,), placement="diagonal")
+
+
+def test_node_sweep_memory_bound_improves():
+    spec = ClusterSpec(num_nodes=4, node=NodeSpec(cores=8))
+    times = run_node_sweep(stream_worker, 8, (1, 2, 4), cluster=spec)
+    assert times[2] < times[1]
+    assert times[4] <= times[2]
+
+
+def test_node_sweep_empty_rejected():
+    with pytest.raises(ValidationError):
+        run_node_sweep(compute_worker, 4, ())
+
+
+def per_rank_compute_worker(comm):
+    comm.compute(flops=1e9)  # fixed work PER RANK (weak scaling)
+    comm.barrier()
+
+
+def per_rank_stream_worker(comm):
+    comm.compute(nbytes=1e10)
+    comm.barrier()
+
+
+def test_weak_scaling_compute_bound_is_flat():
+    from repro.harness import run_weak_scaling
+
+    spec = ClusterSpec(num_nodes=1, node=NodeSpec(cores=8))
+    res = run_weak_scaling(per_rank_compute_worker, (1, 4, 8), cluster=spec)
+    assert res.efficiency[8] > 0.95
+
+
+def test_weak_scaling_memory_bound_degrades():
+    from repro.harness import run_weak_scaling
+
+    spec = ClusterSpec(num_nodes=1, node=NodeSpec(cores=8))
+    res = run_weak_scaling(per_rank_stream_worker, (1, 4, 8), cluster=spec)
+    assert res.efficiency[8] < 0.6  # bandwidth shared among 8 ranks
+
+
+def test_weak_scaling_empty_rejected():
+    from repro.harness import run_weak_scaling
+
+    with pytest.raises(ValidationError):
+        run_weak_scaling(per_rank_compute_worker, ())

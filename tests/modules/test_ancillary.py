@@ -1,0 +1,75 @@
+"""Tests for the ancillary modules (SLURM intro + warmups)."""
+
+import pytest
+
+from repro import smpi
+from repro.modules import ancillary
+from repro.slurm import JobState
+
+
+def test_slurm_intro_idle_cluster():
+    rep = ancillary.slurm_intro_walkthrough()
+    assert rep.state == JobState.COMPLETED
+    assert rep.wait_time == 0.0
+    assert rep.elapsed == pytest.approx(60.0)
+    assert "warmup" in rep.sacct_table
+
+
+def test_slurm_intro_busy_cluster_queues():
+    rep = ancillary.slurm_intro_walkthrough(competing_jobs=2)
+    assert rep.state == JobState.COMPLETED
+    assert rep.wait_time == pytest.approx(200.0)  # two 100 s exclusive jobs
+
+
+def test_slurm_intro_custom_script():
+    script = "#SBATCH --job-name=mine\n#SBATCH --ntasks=2\n#SBATCH --time=05:00\n"
+    rep = ancillary.slurm_intro_walkthrough(script, base_runtime=10.0)
+    assert "mine" in rep.sacct_table
+    assert rep.elapsed == pytest.approx(10.0)
+
+
+def test_slurm_intro_timeout_teaches_time_limits():
+    """A under-requested time limit kills the job — a lesson every
+    student learns once."""
+    script = "#SBATCH --job-name=short\n#SBATCH --time=00:00:30\n"
+    rep = ancillary.slurm_intro_walkthrough(script, base_runtime=120.0)
+    assert rep.state == JobState.TIMEOUT
+
+
+def test_warmup_hello():
+    out = smpi.run(3, ancillary.warmup_hello)
+    assert out == [f"Hello from rank {r} of 3" for r in range(3)]
+
+
+@pytest.mark.parametrize("p", [1, 2, 5])
+def test_warmup_rank_sums_agree(p):
+    expected = sum(range(p))
+    p2p = smpi.run(p, ancillary.warmup_rank_sum_p2p)
+    coll = smpi.run(p, ancillary.warmup_rank_sum_collective)
+    assert p2p == [expected] * p
+    assert coll == [expected] * p
+
+
+def test_warmup_p2p_uses_more_messages_than_collective():
+    p2p = smpi.launch(4, ancillary.warmup_rank_sum_p2p)
+    coll = smpi.launch(4, ancillary.warmup_rank_sum_collective)
+    assert p2p.tracer.summary().messages_sent > coll.tracer.summary().messages_sent
+
+
+def test_warmup_broadcast_chain():
+    out = smpi.run(4, ancillary.warmup_broadcast_chain, 2.5)
+    assert out == [2.5] * 4
+
+
+def test_warmup_broadcast_chain_single_rank():
+    assert smpi.run(1, ancillary.warmup_broadcast_chain) == [3.14]
+
+
+def test_warmup_average():
+    import numpy as np
+
+    def fn(comm):
+        return ancillary.warmup_average(comm, np.full(10, float(comm.rank)))
+
+    out = smpi.run(4, fn)
+    assert out == [pytest.approx(1.5)] * 4

@@ -1,0 +1,45 @@
+"""Tests for module metadata."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.modules import MODULES, module_info
+
+
+def test_five_modules():
+    assert len(MODULES) == 5
+    assert [m.number for m in MODULES] == [1, 2, 3, 4, 5]
+
+
+def test_titles_match_paper():
+    titles = [m.title for m in MODULES]
+    assert titles == [
+        "MPI Communication",
+        "Distance Matrix",
+        "Distribution Sort",
+        "Range Queries",
+        "k-means Clustering",
+    ]
+
+
+def test_every_module_has_activities():
+    for m in MODULES:
+        assert len(m.activities) >= 3
+        assert all(a.number == i + 1 for i, a in enumerate(m.activities))
+
+
+def test_module_info_lookup():
+    assert module_info(3).title == "Distribution Sort"
+    with pytest.raises(ValidationError):
+        module_info(8)
+
+
+def test_extension_modules_listed():
+    from repro.modules import extension_modules
+
+    exts = extension_modules()
+    assert [m.number for m in exts] == [6, 7]
+    assert module_info(6).title.startswith("Latency Hiding")
+    assert module_info(7).title.startswith("Distributed Top-k")
+    # Extensions stay out of the paper's Table I/II scope.
+    assert all(m.number <= 5 for m in MODULES)

@@ -1,0 +1,50 @@
+"""Tests for the Hockney-parameter fit (Module 1 analysis step)."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, NetworkSpec, NodeSpec
+from repro.errors import ValidationError
+from repro.modules.module1_comm import (
+    PingPongResult,
+    fit_hockney,
+    ping_pong_sweep,
+)
+
+
+def test_fit_recovers_configured_parameters():
+    """The measurement pipeline closes the loop: a ping-pong sweep on
+    the simulator recovers the network spec it was configured with."""
+    net = NetworkSpec(alpha_intra=1e-6, beta_intra=1e-9, eager_threshold=1 << 30)
+    spec = ClusterSpec(num_nodes=1, node=NodeSpec(cores=4), network=net)
+    results = ping_pong_sweep(
+        2, sizes=(64, 1024, 16384, 262144, 1048576), cluster=spec
+    )
+    fit = fit_hockney(results)
+    assert fit.alpha == pytest.approx(net.alpha_intra, rel=0.15)
+    assert fit.beta == pytest.approx(net.beta_intra, rel=0.05)
+
+
+def test_fit_summary_statistics():
+    fit = fit_hockney(
+        [
+            PingPongResult(nbytes=100, iterations=1, total_time=2 * (1e-6 + 100e-9)),
+            PingPongResult(nbytes=10_000, iterations=1, total_time=2 * (1e-6 + 10_000e-9)),
+        ]
+    )
+    assert fit.bandwidth == pytest.approx(1e9, rel=0.01)
+    assert fit.half_bandwidth_size == pytest.approx(1000.0, rel=0.05)
+
+
+def test_fit_needs_two_points():
+    with pytest.raises(ValidationError):
+        fit_hockney([PingPongResult(8, 1, 1e-6)])
+
+
+def test_degenerate_fit_rejected():
+    # Times that *decrease* with size -> negative beta.
+    results = [
+        PingPongResult(nbytes=8, iterations=1, total_time=2e-5),
+        PingPongResult(nbytes=8_000_000, iterations=1, total_time=2e-6),
+    ]
+    with pytest.raises(ValidationError):
+        fit_hockney(results)

@@ -1,0 +1,106 @@
+"""Tests for Module 1 — MPI communication patterns."""
+
+import pytest
+
+from repro import smpi
+from repro.errors import ValidationError
+from repro.modules import module1
+
+
+def test_ping_pong_timing_positive():
+    results = smpi.run(2, module1.ping_pong, 1024, 5)
+    r = results[0]
+    assert r is not None
+    assert results[1] is None
+    assert r.total_time > 0
+    assert r.round_trip_time == pytest.approx(r.total_time / 5)
+    assert r.bandwidth > 0
+
+
+def test_ping_pong_extra_ranks_idle():
+    results = smpi.run(4, module1.ping_pong, 64, 2)
+    assert results[2] is None and results[3] is None
+
+
+def test_ping_pong_needs_two_ranks():
+    with pytest.raises(ValidationError):
+        smpi.run(1, module1.ping_pong)
+
+
+def test_ping_pong_sweep_latency_bandwidth_curve():
+    results = module1.ping_pong_sweep(2, sizes=(8, 1024, 65536))
+    times = [r.one_way_time for r in results]
+    assert times == sorted(times)  # bigger messages take longer
+    # Large-message bandwidth approaches the link rate; small ones are
+    # latency-dominated, so their effective bandwidth is far lower.
+    assert results[-1].bandwidth > 10 * results[0].bandwidth
+
+
+def test_ring_exchange_values():
+    assert smpi.run(5, module1.ring_exchange) == [4, 0, 1, 2, 3]
+
+
+def test_ring_exchange_custom_value():
+    def fn(comm):
+        return module1.ring_exchange(comm, value=comm.rank * 10)
+
+    assert smpi.run(3, fn) == [20, 0, 10]
+
+
+def test_unsafe_ring_small_messages_complete():
+    assert smpi.run(4, module1.ring_blocking_unsafe, 8) == [3.0, 0.0, 1.0, 2.0]
+
+
+def test_unsafe_ring_large_messages_deadlock():
+    with pytest.raises(smpi.DeadlockError):
+        smpi.run(4, module1.ring_blocking_unsafe, 1_000_000)
+
+
+def test_odd_even_ring_safe_for_large_messages():
+    out = smpi.run(4, module1.ring_odd_even, 1_000_000)
+    assert out == [3.0, 0.0, 1.0, 2.0]
+
+
+def test_demonstrate_ring_deadlock_report():
+    bad = module1.demonstrate_ring_deadlock(4, payload_nbytes=1_000_000)
+    good = module1.demonstrate_ring_deadlock(4, payload_nbytes=8)
+    assert bad.deadlocked and not good.deadlocked
+    assert "rank" in bad.detail
+    assert "eager" in good.detail
+
+
+@pytest.mark.parametrize("p", [2, 4, 6])
+def test_random_communication_variants_agree(p):
+    """Both random-communication solutions deliver identical totals."""
+    two_phase = smpi.run(p, module1.random_communication_two_phase, 6, 42)
+    any_source = smpi.run(p, module1.random_communication_any_source, 6, 42)
+    assert sum(two_phase) == pytest.approx(sum(any_source))
+    # Totals per rank match too: the same messages arrive either way.
+    assert sorted(two_phase) == pytest.approx(sorted(any_source))
+
+
+def test_random_communication_conserves_payload():
+    """Everything sent is received exactly once."""
+    p, n_msg, seed = 4, 5, 7
+    received = smpi.run(p, module1.random_communication_two_phase, n_msg, seed)
+    expected = sum(
+        float(rank * 1000 + i) for rank in range(p) for i in range(n_msg)
+    )
+    assert sum(received) == pytest.approx(expected)
+
+
+def test_random_communication_single_rank_rejected():
+    with pytest.raises(ValidationError):
+        smpi.run(1, module1.random_communication_two_phase)
+
+
+def test_module1_uses_required_primitives():
+    """Table II row check: Module 1 requires Send/Recv/Isend/Wait."""
+
+    def fn(comm):
+        module1.ring_exchange(comm)
+        module1.random_communication_any_source(comm, 3, 0)
+
+    out = smpi.launch(4, fn)
+    used = out.tracer.primitives_used()
+    assert {"MPI_Isend", "MPI_Recv", "MPI_Wait"} <= used

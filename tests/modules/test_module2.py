@@ -1,0 +1,145 @@
+"""Tests for Module 2 — distance matrix, tiling, cache behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import smpi
+from repro.cluster import ClusterSpec, NodeSpec, Placement
+from repro.data import feature_vectors
+from repro.modules import module2
+from repro.modules.module2_distance import (
+    distributed_distance_matrix,
+    measure_cache_misses,
+    pairwise_distances,
+    pairwise_distances_tiled,
+    predicted_misses,
+    tile_sweep_misses,
+    traversal_trace,
+)
+
+
+def test_pairwise_distances_reference():
+    a = np.array([[0.0, 0.0], [3.0, 4.0]])
+    d = pairwise_distances(a)
+    assert d[0, 1] == pytest.approx(5.0)
+    assert d[0, 0] == 0.0
+    assert np.allclose(d, d.T)
+
+
+def test_pairwise_distances_two_sets():
+    a = np.array([[0.0, 0.0]])
+    b = np.array([[1.0, 0.0], [0.0, 2.0]])
+    d = pairwise_distances(a, b)
+    assert d.shape == (1, 2)
+    assert d[0].tolist() == [1.0, 2.0]
+
+
+@pytest.mark.parametrize("tile", [1, 7, 64, 1000])
+def test_tiled_matches_rowwise(tile):
+    pts = feature_vectors(60, 20, seed=1)
+    # The Gram-matrix formulation leaves ~1e-6 round-off near zero
+    # distances (clipped, never NaN), hence the absolute tolerance.
+    assert np.allclose(
+        pairwise_distances_tiled(pts, tile=tile), pairwise_distances(pts),
+        atol=1e-5,
+    )
+
+
+def test_diagonal_is_zero_no_nan():
+    pts = feature_vectors(40, 90, seed=2)
+    d = pairwise_distances(pts)
+    assert np.abs(np.diag(d)).max() < 1e-5
+    assert np.isfinite(d).all()
+
+
+def test_traversal_trace_row_major_layout():
+    steps = list(traversal_trace(2, 4, 8, tile=None))
+    # 2 rows x 1 tile (tile=None means one full-width tile)
+    assert len(steps) == 2
+    # Each step touches the A row's line(s) plus all of B's lines.
+    assert all(len(s) >= 5 for s in steps)
+
+
+def test_cache_misses_tiled_beats_rowwise():
+    """The module's headline measurement, on the simulator."""
+    n, dims, cache = 96, 90, 16 * 1024  # dataset 67 KiB >> 16 KiB cache
+    row = measure_cache_misses(n, n, dims, tile=None, cache_bytes=cache)
+    tiled = measure_cache_misses(n, n, dims, tile=16, cache_bytes=cache)
+    assert tiled.misses < row.misses / 3
+    assert tiled.hit_rate > row.hit_rate
+
+
+def test_simulated_misses_match_analytic_model():
+    n, dims, cache = 96, 90, 16 * 1024
+    for tile in (None, 16):
+        sim = measure_cache_misses(n, n, dims, tile=tile, cache_bytes=cache).misses
+        pred = predicted_misses(n, n, dims, tile=tile, cache_bytes=cache)
+        assert 0.4 < sim / pred < 2.5, (tile, sim, pred)
+
+
+def test_predicted_misses_tile_tradeoff():
+    """Learning outcome 6: sweeping tile size shows the sweet spot."""
+    n, dims, cache = 4096, 90, 1 << 20
+    sweep = tile_sweep_misses(n, dims, tiles=(None, 8, 128, 1024, 4096), cache_bytes=cache)
+    assert sweep["128"] < sweep["8"]  # too-small tiles re-stream A too often
+    assert sweep["128"] < sweep["4096"]  # too-large tiles thrash the cache
+    assert sweep["4096"] == sweep["row-wise"]
+
+
+def test_distributed_matches_sequential_sum():
+    pts = feature_vectors(64, 30, seed=5)
+    expected = float(pairwise_distances(pts).sum())
+
+    results = smpi.run(4, distributed_distance_matrix, pts)
+    assert results[0].global_sum == pytest.approx(expected, rel=1e-10)
+    assert results[1].global_sum is None
+
+
+def test_distributed_rows_partitioned():
+    results = smpi.run(3, distributed_distance_matrix, n=64, dims=10)
+    assert sum(r.rows for r in results) == 64
+
+
+def test_distributed_tiled_same_statistics():
+    row = smpi.run(2, distributed_distance_matrix, n=64, dims=12, seed=9)
+    tiled = smpi.run(2, distributed_distance_matrix, n=64, dims=12, tile=16, seed=9)
+    assert row[0].global_sum == pytest.approx(tiled[0].global_sum)
+    assert row[0].global_max == pytest.approx(tiled[0].global_max)
+
+
+def test_distributed_uses_scatter_and_reduce():
+    """Table II: MPI_Scatter and MPI_Reduce are required in Module 2."""
+    out = smpi.launch(4, distributed_distance_matrix, n=64, dims=10)
+    used = out.tracer.primitives_used()
+    assert {"MPI_Scatter", "MPI_Reduce"} <= used
+
+
+def test_tiled_is_faster_in_virtual_time():
+    """With the dataset overflowing cache, tiling wins the simulation."""
+    spec = ClusterSpec.monsoon_like(num_nodes=1)
+    row = smpi.launch(
+        8, distributed_distance_matrix, n=2048, dims=90,
+        cluster=spec, placement=Placement.block(spec, 8),
+    )
+    tiled = smpi.launch(
+        8, distributed_distance_matrix, n=2048, dims=90, tile=128,
+        cluster=spec, placement=Placement.block(spec, 8),
+    )
+    assert tiled.elapsed < row.elapsed / 2
+
+
+def test_compute_bound_scaling_of_tiled_kernel():
+    """Learning outcome: the tiled kernel scales like a compute-bound
+    code (near-linear), the row-wise one saturates memory bandwidth."""
+    spec = ClusterSpec.monsoon_like(num_nodes=1)
+
+    def elapsed(p, tile):
+        return smpi.launch(
+            p, distributed_distance_matrix, n=2048, dims=90, tile=tile,
+            cluster=spec, placement=Placement.block(spec, p),
+        ).elapsed
+
+    tiled_speedup = elapsed(1, 128) / elapsed(16, 128)
+    row_speedup = elapsed(1, None) / elapsed(16, None)
+    assert tiled_speedup > 8
+    assert row_speedup < 5

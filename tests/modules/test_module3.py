@@ -1,0 +1,164 @@
+"""Tests for Module 3 — distribution sort and load balance."""
+
+import numpy as np
+import pytest
+
+from repro import smpi
+from repro.errors import ValidationError
+from repro.modules.module3_sort import (
+    distribution_sort,
+    equal_width_splitters,
+    histogram_splitters,
+    partition_by_splitters,
+    sort_activity,
+    verify_globally_sorted,
+)
+
+
+def test_equal_width_splitters():
+    s = equal_width_splitters(0.0, 1.0, 4)
+    assert np.allclose(s, [0.25, 0.5, 0.75])
+
+
+def test_equal_width_validation():
+    with pytest.raises(ValidationError):
+        equal_width_splitters(1.0, 1.0, 4)
+
+
+def test_histogram_splitters_balance_a_skewed_sample():
+    rng = np.random.default_rng(0)
+    sample = rng.exponential(1.0, size=50_000)
+    s = histogram_splitters(sample, 4)
+    buckets = np.searchsorted(s, sample, side="right")
+    counts = np.bincount(buckets, minlength=4)
+    assert counts.max() / counts.mean() < 1.2
+
+
+def test_histogram_splitters_sorted_and_sized():
+    sample = np.random.default_rng(1).random(1000)
+    s = histogram_splitters(sample, 8)
+    assert len(s) == 7
+    assert np.all(np.diff(s) >= 0)
+
+
+def test_histogram_splitters_empty_rejected():
+    with pytest.raises(ValidationError):
+        histogram_splitters(np.empty(0), 4)
+
+
+def test_partition_by_splitters_covers_and_respects_ranges():
+    values = np.array([0.1, 0.9, 0.5, 0.3, 0.7])
+    parts = partition_by_splitters(values, np.array([0.4, 0.6]))
+    assert sorted(np.concatenate(parts).tolist()) == sorted(values.tolist())
+    assert all(v < 0.4 for v in parts[0])
+    assert all(0.4 <= v < 0.6 for v in parts[1])
+    assert all(v >= 0.6 for v in parts[2])
+
+
+def test_partition_values_on_boundary():
+    # Bucket b holds splitters[b-1] <= v < splitters[b]; an exact
+    # boundary value belongs to the bucket on its right.
+    values = np.array([0.4, 0.4, 0.4])
+    parts = partition_by_splitters(values, np.array([0.4]))
+    assert len(parts[1]) == 3
+
+
+@pytest.mark.parametrize("p", [2, 4, 7])
+def test_distribution_sort_correctness(p):
+    def fn(comm):
+        rng = np.random.default_rng(comm.rank)
+        local = rng.random(500)
+        res = distribution_sort(comm, local, equal_width_splitters(0, 1, comm.size))
+        return (res.local_sorted, verify_globally_sorted(comm, res.local_sorted))
+
+    results = smpi.run(p, fn)
+    assert all(ok for _, ok in results)
+    merged = np.concatenate([arr for arr, _ in results])
+    assert len(merged) == p * 500
+    assert np.all(np.diff(merged) >= 0)  # rank order == global order
+
+
+def test_distribution_sort_counts_conserved():
+    def fn(comm):
+        local = np.random.default_rng(comm.rank + 10).random(300)
+        res = distribution_sort(comm, local, equal_width_splitters(0, 1, comm.size))
+        return (res.global_count, res.sent_elements, res.received_elements)
+
+    results = smpi.run(4, fn)
+    assert results[0][0] == 1200
+    total_sent = sum(r[1] for r in results)
+    total_received = sum(r[2] for r in results)
+    assert total_sent == total_received
+
+
+def test_wrong_splitter_count_raises():
+    def fn(comm):
+        distribution_sort(comm, np.ones(4), np.array([0.5]))
+
+    with pytest.raises(ValidationError):
+        smpi.run(4, fn)
+
+
+def test_uniform_equal_width_is_balanced():
+    results = smpi.run(4, sort_activity, n_per_rank=4000, distribution="uniform",
+                       method="equal", seed=0)
+    assert results[0].imbalance < 1.1
+
+
+def test_exponential_equal_width_is_imbalanced():
+    """Activity 2's lesson: skewed data breaks equal-width buckets."""
+    results = smpi.run(4, sort_activity, n_per_rank=4000,
+                       distribution="exponential", method="equal", seed=0)
+    assert results[0].imbalance > 2.0
+
+
+def test_histogram_restores_balance():
+    """Activity 3's lesson: histogram splitters fix the imbalance."""
+    results = smpi.run(4, sort_activity, n_per_rank=4000,
+                       distribution="exponential", method="histogram", seed=0)
+    assert results[0].imbalance < 1.25
+
+
+def test_sort_activity_globally_sorted_all_variants():
+    def fn(comm, dist, method):
+        res = sort_activity(comm, n_per_rank=1000, distribution=dist,
+                            method=method, seed=3)
+        return verify_globally_sorted(comm, res.local_sorted)
+
+    for dist, method in [
+        ("uniform", "equal"),
+        ("exponential", "equal"),
+        ("exponential", "histogram"),
+        ("uniform", "histogram"),
+    ]:
+        assert all(smpi.run(3, fn, dist, method)), (dist, method)
+
+
+def test_sort_activity_rejects_unknown_options():
+    with pytest.raises(ValidationError):
+        smpi.run(2, sort_activity, distribution="zipf")
+    with pytest.raises(ValidationError):
+        smpi.run(2, sort_activity, method="sample")
+
+
+def test_sort_uses_required_primitives():
+    """Table II: MPI_Reduce required; Send/Recv/Get_count expected."""
+    def fn(comm):
+        return sort_activity(comm, n_per_rank=200, distribution="exponential",
+                             method="histogram", seed=0)
+
+    out = smpi.launch(3, fn)
+    used = out.tracer.primitives_used()
+    assert "MPI_Reduce" in used
+    assert "MPI_Recv" in used
+    assert {"MPI_Send", "MPI_Isend"} & used  # point-to-point exchange
+
+
+def test_imbalanced_run_slower_than_balanced():
+    """Load imbalance costs virtual time: the overloaded rank's sort
+    dominates the makespan."""
+    balanced = smpi.launch(4, sort_activity, n_per_rank=20_000,
+                           distribution="exponential", method="histogram", seed=0)
+    imbalanced = smpi.launch(4, sort_activity, n_per_rank=20_000,
+                             distribution="exponential", method="equal", seed=0)
+    assert imbalanced.elapsed > 1.3 * balanced.elapsed

@@ -1,0 +1,99 @@
+"""Tests for extension Module 6 — latency hiding."""
+
+import numpy as np
+import pytest
+
+from repro import smpi
+from repro.cluster import ClusterSpec, Placement
+from repro.errors import ValidationError
+from repro.modules.module6_overlap import (
+    overlap_benefit,
+    stencil_blocking,
+    stencil_overlapped,
+)
+
+
+SPEC = ClusterSpec.monsoon_like(num_nodes=4)
+
+
+def spread_kw(p, nodes=4):
+    return dict(cluster=SPEC, placement=Placement.spread(SPEC, p, nodes=nodes))
+
+
+@pytest.mark.parametrize("p", [2, 4, 5])
+def test_variants_produce_identical_numerics(p):
+    b = smpi.run(p, stencil_blocking, n_local=120, iterations=6, seed=3)
+    o = smpi.run(p, stencil_overlapped, n_local=120, iterations=6, seed=3)
+    for rb, ro in zip(b, o):
+        assert np.array_equal(rb.local_values, ro.local_values)
+        assert rb.residual == pytest.approx(ro.residual)
+
+
+def test_smoothing_reduces_residual():
+    """Jacobi smoothing is a smoother: the roughness must shrink."""
+
+    def fn(comm):
+        short = stencil_blocking(comm, n_local=200, iterations=1, seed=0)
+        long = stencil_blocking(comm, n_local=200, iterations=30, seed=0)
+        return (short.residual, long.residual)
+
+    short_res, long_res = smpi.run(4, fn)[0]
+    assert long_res < short_res
+
+
+def test_overlap_hides_communication_with_big_interior():
+    """Enough interior work => the halo wait costs (almost) nothing."""
+    out = smpi.launch(
+        8, stencil_overlapped, n_local=50_000, iterations=10, halo=2048, seed=1,
+        **spread_kw(8),
+    )
+    r = out.results[0]
+    assert r.comm_time < 0.05 * r.compute_time
+
+
+def test_blocking_pays_full_communication():
+    out = smpi.launch(
+        8, stencil_blocking, n_local=50_000, iterations=10, halo=2048, seed=1,
+        **spread_kw(8),
+    )
+    r = out.results[0]
+    assert r.comm_time > 0.2 * r.compute_time
+
+
+def test_overlap_two_mechanisms():
+    """Activity 3's discovery: non-blocking wins twice over —
+
+    * with a *small* interior, both halo directions fly concurrently
+      instead of back-to-back (message concurrency), and
+    * with a *large* interior, the transfers hide entirely behind the
+      computation (latency hiding proper).
+    """
+    small = overlap_benefit(8, n_local=5_000, iterations=10, halo=1024, **spread_kw(8))
+    large = overlap_benefit(8, n_local=100_000, iterations=10, halo=1024, **spread_kw(8))
+    assert small["speedup"] > 1.5  # concurrency dominates
+    assert large["speedup"] > 1.05  # full hiding of a small comm share
+    # With the large interior, overlapped total ~= pure compute time.
+    out = smpi.launch(
+        8, stencil_overlapped, n_local=100_000, iterations=10, halo=1024, seed=0,
+        **spread_kw(8),
+    )
+    r = out.results[0]
+    assert r.comm_time < 0.05 * r.compute_time
+
+
+def test_overlap_never_slower():
+    res = overlap_benefit(4, n_local=2_000, iterations=5, halo=64, **spread_kw(4))
+    assert res["speedup"] >= 0.99
+
+
+def test_validation():
+    with pytest.raises(ValidationError):
+        smpi.run(2, stencil_blocking, n_local=4, halo=8)
+    with pytest.raises(ValidationError):
+        smpi.run(2, stencil_overlapped, n_local=0)
+
+
+def test_uses_nonblocking_primitives():
+    out = smpi.launch(4, stencil_overlapped, n_local=100, iterations=2)
+    used = out.tracer.primitives_used()
+    assert {"MPI_Isend", "MPI_Irecv", "MPI_Wait"} <= used

@@ -1,0 +1,93 @@
+"""Tests for extension Module 7 — distributed top-k."""
+
+import numpy as np
+import pytest
+
+from repro import smpi
+from repro.errors import ValidationError
+from repro.modules.module7_topk import (
+    local_topk,
+    reference_topk,
+    topk_activity,
+    topk_gather,
+    topk_threshold,
+)
+
+
+def test_local_topk_basic():
+    values = np.array([5.0, 1.0, 9.0, 3.0])
+    assert local_topk(values, 2).tolist() == [9.0, 5.0]
+
+
+def test_local_topk_k_exceeds_n():
+    assert local_topk(np.array([2.0, 1.0]), 5).tolist() == [2.0, 1.0]
+
+
+def test_local_topk_validation():
+    with pytest.raises(ValidationError):
+        local_topk(np.ones(3), 0)
+
+
+@pytest.mark.parametrize("strategy", ["gather", "threshold"])
+@pytest.mark.parametrize("distribution", ["lognormal", "uniform", "rank_skewed"])
+def test_both_strategies_match_reference(strategy, distribution):
+    p, n, k, seed = 4, 3000, 20, 5
+    out = smpi.run(p, topk_activity, n_per_rank=n, k=k,
+                   distribution=distribution, strategy=strategy, seed=seed)
+    expected = reference_topk(p, n, k, distribution, seed)
+    assert np.allclose(out[0].topk, expected)
+    assert all(r.topk is None for r in out[1:])
+
+
+def test_threshold_prunes_on_skewed_data():
+    """The rank-skewed case collapses the exchange to exactly k values."""
+    p, k = 4, 16
+    out = smpi.run(p, topk_activity, n_per_rank=5000, k=k,
+                   distribution="rank_skewed", strategy="threshold", seed=2)
+    assert sum(r.candidates_sent for r in out) == k
+    gather = smpi.run(p, topk_activity, n_per_rank=5000, k=k,
+                      distribution="rank_skewed", strategy="gather", seed=2)
+    assert sum(r.candidates_sent for r in gather) == p * k
+
+
+def test_threshold_never_sends_more_than_gather_much():
+    """Survivor count is bounded: at most p*k, at least k."""
+    p, k = 5, 10
+    for dist in ("uniform", "lognormal"):
+        out = smpi.run(p, topk_activity, n_per_rank=2000, k=k,
+                       distribution=dist, strategy="threshold", seed=9)
+        total = sum(r.candidates_sent for r in out)
+        assert k <= total <= p * k
+
+
+def test_small_local_data():
+    """Ranks holding fewer than k values must still be correct."""
+
+    def fn(comm):
+        local = np.array([float(comm.rank)])
+        return topk_threshold(comm, local, k=3)
+
+    out = smpi.run(4, fn)
+    assert out[0].topk.tolist() == [3.0, 2.0, 1.0]
+
+
+def test_duplicate_values():
+    def fn(comm):
+        local = np.full(10, 7.0)
+        return topk_gather(comm, local, k=5)
+
+    out = smpi.run(3, fn)
+    assert out[0].topk.tolist() == [7.0] * 5
+
+
+def test_unknown_options_rejected():
+    with pytest.raises(ValidationError):
+        smpi.run(2, topk_activity, distribution="zipf")
+    with pytest.raises(ValidationError):
+        smpi.run(2, topk_activity, strategy="sample")
+
+
+def test_single_rank():
+    out = smpi.run(1, topk_activity, n_per_rank=100, k=5, strategy="threshold", seed=0)
+    expected = reference_topk(1, 100, 5, "lognormal", 0)
+    assert np.allclose(out[0].topk, expected)

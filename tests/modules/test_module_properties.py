@@ -1,0 +1,126 @@
+"""Hypothesis property tests over the module algorithms."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import smpi
+from repro.modules.module2_distance import pairwise_distances, pairwise_distances_tiled
+from repro.modules.module3_sort import (
+    distribution_sort,
+    equal_width_splitters,
+    histogram_splitters,
+    partition_by_splitters,
+)
+from repro.modules.module5_kmeans import (
+    assign_points,
+    cluster_sums,
+    initial_centroids,
+    update_centroids,
+)
+from repro.modules.module7_topk import local_topk
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    n=st.integers(min_value=2, max_value=40),
+    d=st.integers(min_value=1, max_value=12),
+    tile=st.integers(min_value=1, max_value=50),
+)
+def test_tiled_distance_matrix_always_matches(seed, n, d, tile):
+    pts = np.random.default_rng(seed).normal(size=(n, d))
+    assert np.allclose(
+        pairwise_distances_tiled(pts, tile=tile), pairwise_distances(pts), atol=1e-6
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    n=st.integers(min_value=0, max_value=300),
+    p=st.integers(min_value=1, max_value=8),
+)
+def test_partition_by_splitters_is_a_partition(seed, n, p):
+    rng = np.random.default_rng(seed)
+    values = rng.exponential(1.0, size=n)
+    splitters = histogram_splitters(rng.random(100), p) if p > 1 else np.array([])
+    parts = partition_by_splitters(values, splitters)
+    assert len(parts) == len(splitters) + 1
+    merged = np.sort(np.concatenate(parts)) if parts else values
+    assert np.array_equal(merged, np.sort(values))
+    # Range containment: every bucket b value lies in (s[b-1], s[b]].
+    for b, part in enumerate(parts):
+        if b > 0 and part.size:
+            assert part.min() >= splitters[b - 1]
+        if b < len(splitters) and part.size:
+            assert part.max() <= splitters[b] + 1e-12
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    p=st.integers(min_value=2, max_value=4),
+    n=st.integers(min_value=1, max_value=200),
+)
+def test_distribution_sort_is_a_sort(seed, p, n):
+    """The distributed sort equals numpy's sort of the union."""
+
+    def fn(comm):
+        rng = np.random.default_rng(seed + comm.rank)
+        local = rng.random(n)
+        res = distribution_sort(comm, local, equal_width_splitters(0, 1, comm.size))
+        return (local, res.local_sorted)
+
+    results = smpi.run(p, fn)
+    everything = np.concatenate([loc for loc, _ in results])
+    recombined = np.concatenate([out for _, out in results])
+    assert np.array_equal(recombined, np.sort(everything))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    n=st.integers(min_value=5, max_value=200),
+    k=st.integers(min_value=1, max_value=5),
+)
+def test_kmeans_inertia_never_increases(seed, n, k):
+    """Lloyd's algorithm monotonicity — the textbook invariant."""
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(size=(n, 2))
+    centroids = initial_centroids(pts, k, seed=seed)
+    previous_inertia = np.inf
+    for _ in range(8):
+        labels = assign_points(pts, centroids)
+        inertia = float(((pts - centroids[labels]) ** 2).sum())
+        assert inertia <= previous_inertia + 1e-9
+        previous_inertia = inertia
+        sums, counts = cluster_sums(pts, labels, k)
+        centroids = update_centroids(sums, counts, centroids)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    n=st.integers(min_value=5, max_value=100),
+    k=st.integers(min_value=1, max_value=4),
+)
+def test_assignments_are_nearest(seed, n, k):
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(size=(n, 3))
+    cents = rng.normal(size=(k, 3))
+    labels = assign_points(pts, cents)
+    d = ((pts[:, None, :] - cents[None, :, :]) ** 2).sum(axis=2)
+    assert np.allclose(d[np.arange(n), labels], d.min(axis=1), atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    n=st.integers(min_value=1, max_value=300),
+    k=st.integers(min_value=1, max_value=40),
+)
+def test_local_topk_matches_sort(seed, n, k):
+    values = np.random.default_rng(seed).normal(size=n)
+    got = local_topk(values, k)
+    expected = np.sort(values)[::-1][:k]
+    assert np.array_equal(got, expected)

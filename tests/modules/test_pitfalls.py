@@ -1,0 +1,35 @@
+"""Tests for the pitfalls catalog — every classic bug is diagnosed."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.modules.pitfalls import PITFALLS, demonstrate, demonstrate_all, pitfall
+
+
+def test_catalog_size_and_names_unique():
+    names = [p.name for p in PITFALLS]
+    assert len(names) == len(set(names)) == 10
+
+
+@pytest.mark.parametrize("name", [p.name for p in PITFALLS])
+def test_each_pitfall_is_diagnosed(name):
+    report = demonstrate(name)
+    assert report.diagnosed, (name, report.message)
+    assert report.message
+
+
+def test_demonstrate_all():
+    reports = demonstrate_all()
+    assert len(reports) == len(PITFALLS)
+    assert all(r.diagnosed for r in reports)
+
+
+def test_lookup_unknown():
+    with pytest.raises(ValidationError):
+        pitfall("forgot-to-initialize")
+
+
+def test_every_pitfall_has_a_lesson():
+    for p in PITFALLS:
+        assert p.lesson
+        assert p.description

@@ -1,0 +1,25 @@
+"""Tests for Bloom taxonomy levels."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.outcomes import BloomLevel
+
+
+def test_codes_roundtrip():
+    for level in BloomLevel:
+        assert BloomLevel.from_code(level.value) is level
+
+
+def test_unknown_code():
+    with pytest.raises(ValidationError):
+        BloomLevel.from_code("X")
+
+
+def test_ordering():
+    assert BloomLevel.APPLY < BloomLevel.EVALUATE < BloomLevel.CREATE
+    assert not BloomLevel.CREATE < BloomLevel.APPLY
+
+
+def test_ranks():
+    assert [l.rank for l in (BloomLevel.APPLY, BloomLevel.EVALUATE, BloomLevel.CREATE)] == [0, 1, 2]

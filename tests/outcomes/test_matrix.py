@@ -1,0 +1,64 @@
+"""Tests for the Table I learning-outcome matrix."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.outcomes import LEARNING_OUTCOMES, outcomes_for_module, render_table1
+from repro.outcomes.bloom import BloomLevel
+
+
+def test_fifteen_outcomes_numbered():
+    assert [lo.number for lo in LEARNING_OUTCOMES] == list(range(1, 16))
+
+
+def test_module1_targets_exactly_paper_rows():
+    nums = {lo.number for lo in outcomes_for_module(1)}
+    assert nums == {1, 2, 3, 11}
+
+
+def test_module2_targets():
+    nums = {lo.number for lo in outcomes_for_module(2)}
+    assert nums == {4, 5, 6, 7, 8, 10, 11}
+
+
+def test_module5_targets():
+    nums = {lo.number for lo in outcomes_for_module(5)}
+    assert nums == {4, 8, 10, 11, 12, 13, 14, 15}
+
+
+def test_tiling_outcomes_only_module2():
+    for number in (5, 6, 7):
+        lo = LEARNING_OUTCOMES[number - 1]
+        assert set(lo.levels) == {2}
+
+
+def test_outcome15_create_level_everywhere():
+    lo = LEARNING_OUTCOMES[14]
+    assert set(lo.levels) == {3, 4, 5}
+    assert all(v is BloomLevel.CREATE for v in lo.levels.values())
+
+
+def test_module1_apply_only():
+    for lo in outcomes_for_module(1):
+        assert lo.levels[1] is BloomLevel.APPLY
+
+
+def test_bad_module_number():
+    with pytest.raises(ValidationError):
+        outcomes_for_module(0)
+    with pytest.raises(ValidationError):
+        outcomes_for_module(6)
+
+
+def test_render_contains_all_rows():
+    text = render_table1()
+    assert "Table I" in text
+    for i in range(1, 16):
+        assert f"\n{i} " in text or text.splitlines()[2 + i].startswith(str(i))
+
+
+def test_outcome_totals_match_paper_cells():
+    """42 non-empty cells?  Count the A/E/C marks in Table I."""
+    marks = sum(len(lo.levels) for lo in LEARNING_OUTCOMES)
+    # Paper's Table I has 35 marked (A/E/C) cells.
+    assert marks == 35

@@ -1,0 +1,76 @@
+"""Tests for the Table II primitive matrix and its live verification."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.outcomes import (
+    PRIMITIVE_MATRIX,
+    PrimitiveRequirement,
+    canonical_primitives_used,
+    render_table2,
+    requirements_for_module,
+    verify_primitive_usage,
+)
+
+
+def test_matrix_matches_paper_required_cells():
+    R = PrimitiveRequirement.REQUIRED
+    assert PRIMITIVE_MATRIX["MPI_Send"][1] is R
+    assert PRIMITIVE_MATRIX["MPI_Recv"][1] is R
+    assert PRIMITIVE_MATRIX["MPI_Isend"][1] is R
+    assert PRIMITIVE_MATRIX["MPI_Wait"][1] is R
+    assert PRIMITIVE_MATRIX["MPI_Scatter"][2] is R
+    assert PRIMITIVE_MATRIX["MPI_Reduce"][2] is R
+    assert PRIMITIVE_MATRIX["MPI_Reduce"][3] is R
+    assert PRIMITIVE_MATRIX["MPI_Reduce"][4] is R
+
+
+def test_module5_has_no_required_primitives():
+    reqs = requirements_for_module(5)
+    assert all(r is PrimitiveRequirement.OPTIONAL for r in reqs.values())
+    assert set(reqs) == {"MPI_Scatter", "MPI_Allreduce"}
+
+
+def test_requirements_bad_module():
+    with pytest.raises(ValidationError):
+        requirements_for_module(0)
+
+
+def test_render_table2_shape():
+    text = render_table2()
+    assert "MPI_Reduce" in text
+    assert "| R " in text and "| N " in text
+
+
+def test_canonical_primitives_bad_module():
+    with pytest.raises(ValidationError):
+        canonical_primitives_used(9)
+
+
+def test_canonical_module4_uses_reduce():
+    used = canonical_primitives_used(4, nprocs=3)
+    assert "MPI_Reduce" in used
+
+
+def test_verify_all_modules_required_ok():
+    """The headline T2 check: every R cell of Table II is exercised."""
+    reports = verify_primitive_usage(nprocs=4)
+    assert len(reports) == 5
+    for rep in reports:
+        assert rep.ok, (
+            f"module {rep.module} missing required primitives: "
+            f"{sorted(rep.missing_required)}"
+        )
+
+
+def test_verify_module1_exact_set():
+    reports = {r.module: r for r in verify_primitive_usage(nprocs=4)}
+    m1 = reports[1]
+    assert {"MPI_Send", "MPI_Recv", "MPI_Isend", "MPI_Wait"} <= m1.used
+    assert "MPI_Bcast" in m1.optional_used
+
+
+def test_verify_module5_optionals():
+    reports = {r.module: r for r in verify_primitive_usage(nprocs=4)}
+    m5 = reports[5]
+    assert {"MPI_Scatter", "MPI_Allreduce"} <= m5.optional_used

@@ -1,0 +1,93 @@
+"""Tests for co-scheduling interference and the Figure 1 advisor."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.slurm import (
+    InterferenceModel,
+    WorkloadProfile,
+    classify_program_from_speedup,
+    coschedule_slowdown,
+    recommend_coschedule,
+)
+
+
+def test_no_contention_no_slowdown():
+    assert coschedule_slowdown(0.5, 0.4) == 1.0  # total fits in the node
+
+
+def test_oversubscription_stretches():
+    assert coschedule_slowdown(0.9, 0.9) == pytest.approx(1.8)
+
+
+def test_interference_only_memory_fraction_stretches():
+    model = InterferenceModel()
+    membound = WorkloadProfile(base_runtime=100, mem_demand=0.9)
+    # Terrible twins: total demand 1.8 -> memory phases stretch 1.8x.
+    t = model.runtime(membound, others_demand=0.9)
+    assert t == pytest.approx(100 * (0.1 + 0.9 * 1.8))
+
+
+def test_compute_bound_barely_affected():
+    model = InterferenceModel()
+    compute = WorkloadProfile(base_runtime=100, mem_demand=0.1)
+    t = model.runtime(compute, others_demand=0.9)
+    assert t == pytest.approx(100.0)  # total demand 1.0, still fits
+
+
+def test_dedicated_runtime_is_base():
+    model = InterferenceModel()
+    p = WorkloadProfile(base_runtime=42, mem_demand=0.7)
+    assert model.runtime(p) == 42
+    assert model.slowdown(p) == 1.0
+    assert model.speed(p) == 1.0
+
+
+def test_terrible_twins_worse_than_mixed_pairing():
+    """The module's core lesson, quantified."""
+    model = InterferenceModel()
+    mem = WorkloadProfile(base_runtime=1, mem_demand=0.9)
+    twins = model.slowdown(mem, others_demand=0.9)
+    mixed = model.slowdown(mem, others_demand=0.1)
+    assert twins > mixed == 1.0
+
+
+def test_classify_compute_bound():
+    cores = [1, 2, 4, 8, 16, 20]
+    nearly_linear = [1, 1.9, 3.7, 7.2, 13.5, 16.5]
+    assert classify_program_from_speedup(cores, nearly_linear) == "compute-bound"
+
+
+def test_classify_memory_bound():
+    cores = [1, 2, 4, 8, 16, 20]
+    plateau = [1, 1.7, 2.4, 2.9, 3.1, 3.2]
+    assert classify_program_from_speedup(cores, plateau) == "memory-bound"
+
+
+def test_classify_validation():
+    with pytest.raises(ValidationError):
+        classify_program_from_speedup([], [])
+    with pytest.raises(ValidationError):
+        classify_program_from_speedup([1, 2], [1])
+
+
+def test_recommend_answers_the_quiz_question():
+    """Figure 1: Program 1 plateaus (memory-bound), Program 2 scales
+    (compute-bound).  The correct answer is Program 2 / Node 2."""
+    cores = [1, 2, 4, 8, 16, 20]
+    curves = {
+        "Program 1 / Node 1": (cores, [1, 1.8, 2.6, 3.1, 3.3, 3.4]),
+        "Program 2 / Node 2": (cores, [1, 2.0, 3.9, 7.6, 14.8, 18.0]),
+    }
+    advice = recommend_coschedule(curves)
+    assert advice.share_with == "Program 2 / Node 2"
+    assert advice.classifications["Program 1 / Node 1"] == "memory-bound"
+    assert advice.expected_slowdowns["Program 2 / Node 2"] < (
+        advice.expected_slowdowns["Program 1 / Node 1"]
+    )
+    assert "terrible twins" in advice.explanation
+
+
+def test_recommend_needs_two_programs():
+    with pytest.raises(ValidationError):
+        recommend_coschedule({"only": ([1], [1.0])})

@@ -1,0 +1,32 @@
+"""Tests for job specs and workload profiles."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.slurm import JobSpec, JobState, WorkloadProfile
+
+
+def test_profile_validation():
+    WorkloadProfile(base_runtime=10, mem_demand=0.5)
+    with pytest.raises(ValidationError):
+        WorkloadProfile(base_runtime=0)
+    with pytest.raises(ValidationError):
+        WorkloadProfile(base_runtime=1, mem_demand=1.5)
+
+
+def test_jobspec_tasks_per_node():
+    spec = JobSpec("j", WorkloadProfile(10), nodes=3, ntasks=8)
+    assert spec.tasks_per_node == 3  # ceil(8/3)
+
+
+def test_jobspec_ntasks_lt_nodes_rejected():
+    with pytest.raises(ValidationError):
+        JobSpec("j", WorkloadProfile(10), nodes=4, ntasks=2)
+
+
+def test_jobstate_finished():
+    assert JobState.COMPLETED.finished
+    assert JobState.TIMEOUT.finished
+    assert JobState.CANCELLED.finished
+    assert not JobState.RUNNING.finished
+    assert not JobState.PENDING.finished

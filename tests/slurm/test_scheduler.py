@@ -1,0 +1,191 @@
+"""Tests for the batch scheduler: FIFO, backfill, sharing, interference."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.slurm import JobSpec, JobState, Scheduler, WorkloadProfile
+
+
+def spec(name, runtime=10.0, nodes=1, ntasks=1, mem=0.0, limit=100.0, exclusive=False):
+    return JobSpec(
+        name,
+        WorkloadProfile(base_runtime=runtime, mem_demand=mem),
+        nodes=nodes,
+        ntasks=ntasks,
+        time_limit=limit,
+        exclusive=exclusive,
+    )
+
+
+def test_single_job_runs_to_completion():
+    s = Scheduler(num_nodes=1, cores_per_node=4)
+    j = s.submit(spec("a", runtime=5.0))
+    s.run()
+    rec = s.record(j)
+    assert rec.state == JobState.COMPLETED
+    assert rec.start_time == 0.0
+    assert rec.end_time == pytest.approx(5.0)
+
+
+def test_fifo_order_on_saturated_cluster():
+    s = Scheduler(num_nodes=1, cores_per_node=2)
+    a = s.submit(spec("a", runtime=10.0, ntasks=2))
+    b = s.submit(spec("b", runtime=10.0, ntasks=2))
+    s.run()
+    assert s.record(a).start_time == 0.0
+    assert s.record(b).start_time == pytest.approx(10.0)
+
+
+def test_node_sharing_when_cores_free():
+    s = Scheduler(num_nodes=1, cores_per_node=4)
+    a = s.submit(spec("a", runtime=10.0, ntasks=2))
+    b = s.submit(spec("b", runtime=10.0, ntasks=2))
+    s.run()
+    assert s.record(a).start_time == 0.0
+    assert s.record(b).start_time == 0.0  # both fit: cores are not shared
+
+
+def test_exclusive_prevents_sharing():
+    s = Scheduler(num_nodes=1, cores_per_node=4)
+    a = s.submit(spec("a", runtime=10.0, ntasks=1, exclusive=True))
+    b = s.submit(spec("b", runtime=5.0, ntasks=1))
+    s.run()
+    assert s.record(b).start_time == pytest.approx(10.0)
+
+
+def test_exclusive_job_wont_join_occupied_node():
+    s = Scheduler(num_nodes=1, cores_per_node=4)
+    a = s.submit(spec("a", runtime=10.0, ntasks=1))
+    b = s.submit(spec("b", runtime=5.0, ntasks=1, exclusive=True))
+    s.run()
+    assert s.record(b).start_time == pytest.approx(10.0)
+
+
+def test_multi_node_allocation():
+    s = Scheduler(num_nodes=3, cores_per_node=4)
+    a = s.submit(spec("a", runtime=5.0, nodes=2, ntasks=8))
+    s.run()
+    assert s.record(a).nodes == (0, 1)
+    assert s.record(a).state == JobState.COMPLETED
+
+
+def test_timeout_kills_job():
+    s = Scheduler(num_nodes=1)
+    j = s.submit(spec("slow", runtime=100.0, limit=10.0))
+    s.run()
+    rec = s.record(j)
+    assert rec.state == JobState.TIMEOUT
+    assert rec.end_time == pytest.approx(10.0)
+
+
+def test_backfill_lets_short_job_jump():
+    """Head needs the whole node; a short later job fits in the gap."""
+    s = Scheduler(num_nodes=1, cores_per_node=4, backfill=True)
+    a = s.submit(spec("running", runtime=10.0, ntasks=2, limit=10.0))
+    head = s.submit(spec("head", runtime=5.0, ntasks=4, limit=20.0))
+    filler = s.submit(spec("filler", runtime=2.0, ntasks=1, limit=2.0))
+    s.run()
+    assert s.record(filler).start_time == 0.0  # backfilled
+    assert s.record(head).start_time == pytest.approx(10.0)
+
+
+def test_backfill_never_delays_head():
+    """A filler whose time limit overlaps the reservation must wait."""
+    s = Scheduler(num_nodes=1, cores_per_node=4, backfill=True)
+    a = s.submit(spec("running", runtime=10.0, ntasks=2, limit=10.0))
+    head = s.submit(spec("head", runtime=5.0, ntasks=4, limit=20.0))
+    filler = s.submit(spec("greedy", runtime=2.0, ntasks=1, limit=50.0))
+    s.run()
+    assert s.record(filler).start_time >= s.record(head).start_time
+
+
+def test_no_backfill_strict_fifo():
+    s = Scheduler(num_nodes=1, cores_per_node=4, backfill=False)
+    s.submit(spec("running", runtime=10.0, ntasks=2, limit=10.0))
+    head = s.submit(spec("head", runtime=5.0, ntasks=4, limit=20.0))
+    filler = s.submit(spec("filler", runtime=2.0, ntasks=1, limit=2.0))
+    s.run()
+    assert s.record(filler).start_time > 0.0
+
+
+def test_future_submission():
+    s = Scheduler(num_nodes=1)
+    j = s.submit(spec("later", runtime=1.0), at=5.0)
+    s.run()
+    assert s.record(j).start_time == pytest.approx(5.0)
+
+
+def test_terrible_twins_interference_extends_runtime():
+    """Two memory-bound jobs sharing a node both stretch; paired with a
+    compute-bound neighbour they don't — experiment E8's mechanism."""
+    twins = Scheduler(num_nodes=1, cores_per_node=4)
+    a = twins.submit(spec("mem1", runtime=10.0, mem=0.9))
+    b = twins.submit(spec("mem2", runtime=10.0, mem=0.9))
+    twins.run()
+    twin_elapsed = twins.record(a).elapsed
+
+    mixed = Scheduler(num_nodes=1, cores_per_node=4)
+    c = mixed.submit(spec("mem1", runtime=10.0, mem=0.9))
+    d = mixed.submit(spec("cpu", runtime=10.0, mem=0.1))
+    mixed.run()
+    mixed_elapsed = mixed.record(c).elapsed
+
+    assert twin_elapsed == pytest.approx(10 * (0.1 + 0.9 * 1.8))
+    assert mixed_elapsed == pytest.approx(10.0)
+    assert twin_elapsed > 1.5 * mixed_elapsed
+
+
+def test_interference_releases_when_neighbor_finishes():
+    """After the co-runner completes, the survivor speeds back up."""
+    s = Scheduler(num_nodes=1, cores_per_node=4)
+    short = s.submit(spec("short-mem", runtime=2.0, mem=0.9))
+    long = s.submit(spec("long-mem", runtime=10.0, mem=0.9))
+    s.run()
+    # The long job ran contended only while the short one lived.
+    assert s.record(long).elapsed < 10 * (0.1 + 0.9 * 1.8)
+    assert s.record(long).elapsed > 10.0
+
+
+def test_cancel_pending_and_running():
+    s = Scheduler(num_nodes=1, cores_per_node=1)
+    a = s.submit(spec("a", runtime=10.0))
+    b = s.submit(spec("b", runtime=10.0))
+    s.cancel(b)
+    s.run()
+    assert s.record(b).state == JobState.CANCELLED
+    assert s.record(a).state == JobState.COMPLETED
+
+
+def test_oversized_job_rejected():
+    s = Scheduler(num_nodes=2, cores_per_node=4)
+    with pytest.raises(SchedulerError):
+        s.submit(spec("big", nodes=3, ntasks=3))
+    with pytest.raises(SchedulerError):
+        s.submit(spec("fat", nodes=1, ntasks=5))
+
+
+def test_unknown_job_id():
+    s = Scheduler(num_nodes=1)
+    with pytest.raises(SchedulerError):
+        s.record(99)
+
+
+def test_squeue_and_sacct_views():
+    s = Scheduler(num_nodes=1, cores_per_node=1)
+    a = s.submit(spec("a", runtime=10.0))
+    b = s.submit(spec("b", runtime=10.0))
+    s._schedule_pass()
+    queue = s.squeue()
+    assert [r.spec.name for r in queue] == ["b", "a"]  # pending first, then running
+    s.run()
+    table = s.sacct().render()
+    assert "COMPLETED" in table
+    assert "a" in table and "b" in table
+
+
+def test_makespan_accounting():
+    s = Scheduler(num_nodes=2, cores_per_node=2)
+    for i in range(4):
+        s.submit(spec(f"j{i}", runtime=3.0, ntasks=2))
+    end = s.run()
+    assert end == pytest.approx(6.0)  # two waves of two jobs

@@ -1,0 +1,118 @@
+"""Hypothesis property tests for the batch scheduler."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.slurm import JobSpec, JobState, Scheduler, WorkloadProfile
+
+
+@st.composite
+def job_batch(draw):
+    """A random feasible job set for a 2-node, 4-core cluster."""
+    n_jobs = draw(st.integers(min_value=1, max_value=8))
+    jobs = []
+    for i in range(n_jobs):
+        nodes = draw(st.integers(min_value=1, max_value=2))
+        tasks_per_node = draw(st.integers(min_value=1, max_value=4))
+        runtime = draw(st.floats(min_value=0.5, max_value=20.0))
+        mem = draw(st.sampled_from([0.0, 0.1, 0.5, 0.9]))
+        exclusive = draw(st.booleans())
+        jobs.append(
+            JobSpec(
+                f"job{i}",
+                WorkloadProfile(base_runtime=runtime, mem_demand=mem),
+                nodes=nodes,
+                ntasks=nodes * tasks_per_node,
+                time_limit=1000.0,
+                exclusive=exclusive,
+            )
+        )
+    return jobs
+
+
+@settings(max_examples=40, deadline=None)
+@given(job_batch(), st.booleans())
+def test_all_jobs_eventually_complete(jobs, backfill):
+    sched = Scheduler(num_nodes=2, cores_per_node=4, backfill=backfill)
+    ids = [sched.submit(spec) for spec in jobs]
+    sched.run()
+    for job_id in ids:
+        rec = sched.record(job_id)
+        assert rec.state == JobState.COMPLETED
+        assert rec.start_time is not None and rec.end_time is not None
+        assert rec.end_time >= rec.start_time
+
+
+@settings(max_examples=40, deadline=None)
+@given(job_batch())
+def test_no_job_finishes_faster_than_dedicated(jobs):
+    """Contention can only slow jobs down, never speed them up."""
+    sched = Scheduler(num_nodes=2, cores_per_node=4)
+    ids = [sched.submit(spec) for spec in jobs]
+    sched.run()
+    for job_id, spec in zip(ids, jobs):
+        elapsed = sched.record(job_id).elapsed
+        assert elapsed >= spec.profile.base_runtime - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(job_batch())
+def test_makespan_bounds(jobs):
+    """The makespan is at least the longest job and at most the sum of
+    worst-case (fully contended) runtimes."""
+    sched = Scheduler(num_nodes=2, cores_per_node=4)
+    for spec in jobs:
+        sched.submit(spec)
+    end = sched.run()
+    assert end >= max(spec.profile.base_runtime for spec in jobs) - 1e-6
+    worst_each = [
+        spec.profile.base_runtime
+        * ((1 - spec.profile.mem_demand) + spec.profile.mem_demand * 8)
+        for spec in jobs
+    ]
+    assert end <= sum(worst_each) + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(job_batch())
+def test_cores_never_oversubscribed(jobs):
+    """Step through events and check allocation never exceeds capacity."""
+    sched = Scheduler(num_nodes=2, cores_per_node=4)
+    for spec in jobs:
+        sched.submit(spec)
+    while True:
+        for free in sched._free_cores:
+            assert 0 <= free <= sched.cores_per_node
+        if not sched.step():
+            break
+
+
+@settings(max_examples=30, deadline=None)
+@given(job_batch())
+def test_backfill_guarantee_under_honest_time_limits(jobs):
+    """EASY's guarantee holds when time limits are exact: the head can
+    never start later with backfill than without.
+
+    (With padded limits even real SLURM's backfill can delay the head —
+    fillers hold resources the reservation assumed free — so the
+    property is only asserted for honest limits.)
+    """
+    honest = [
+        JobSpec(
+            spec.name,
+            spec.profile,
+            nodes=spec.nodes,
+            ntasks=spec.ntasks,
+            time_limit=spec.profile.base_runtime * 8 + 1e-6,  # worst contention
+            exclusive=spec.exclusive,
+        )
+        for spec in jobs
+    ]
+    with_bf = Scheduler(num_nodes=2, cores_per_node=4, backfill=True)
+    without = Scheduler(num_nodes=2, cores_per_node=4, backfill=False)
+    ids_bf = [with_bf.submit(spec) for spec in honest]
+    ids_no = [without.submit(spec) for spec in honest]
+    with_bf.run()
+    without.run()
+    for job_id_bf, job_id_no in zip(ids_bf, ids_no):
+        assert with_bf.record(job_id_bf).state == JobState.COMPLETED
+        assert without.record(job_id_no).state == JobState.COMPLETED

@@ -1,0 +1,101 @@
+"""Tests for #SBATCH script parsing (ancillary SLURM module)."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.slurm import parse_sbatch_script, WorkloadProfile
+from repro.slurm.script import parse_time_limit
+
+
+GOOD_SCRIPT = """\
+#!/bin/bash
+#SBATCH --job-name=distance_matrix
+#SBATCH --nodes=2
+#SBATCH --ntasks=8
+#SBATCH --time=00:10:00
+#SBATCH --exclusive
+
+module load openmpi
+srun ./distance_matrix
+"""
+
+
+def test_parse_full_script():
+    s = parse_sbatch_script(GOOD_SCRIPT)
+    assert s.job_name == "distance_matrix"
+    assert s.nodes == 2
+    assert s.ntasks == 8
+    assert s.time_limit == 600.0
+    assert s.exclusive is True
+    assert s.commands == ["module load openmpi", "srun ./distance_matrix"]
+
+
+def test_defaults():
+    s = parse_sbatch_script("#!/bin/bash\nsrun ./a.out\n")
+    assert s.nodes == 1 and s.ntasks == 1 and not s.exclusive
+
+
+def test_short_flags():
+    s = parse_sbatch_script("#SBATCH -N 3\n#SBATCH -n 12\n#SBATCH -J demo\n")
+    assert (s.nodes, s.ntasks, s.job_name) == (3, 12, "demo")
+
+
+def test_space_separated_values():
+    s = parse_sbatch_script("#SBATCH --nodes 4\n")
+    assert s.nodes == 4
+
+
+def test_ntasks_per_node():
+    s = parse_sbatch_script("#SBATCH --nodes=2\n#SBATCH --ntasks-per-node=16\n")
+    spec = s.to_spec(WorkloadProfile(base_runtime=5))
+    assert spec.ntasks == 32
+
+
+def test_unknown_directive_raises():
+    with pytest.raises(SchedulerError, match="unknown"):
+        parse_sbatch_script("#SBATCH --walltime=10\n")
+
+
+def test_bad_value_raises():
+    with pytest.raises(SchedulerError, match="bad value"):
+        parse_sbatch_script("#SBATCH --nodes=two\n")
+
+
+def test_missing_value_raises():
+    with pytest.raises(SchedulerError, match="requires a value"):
+        parse_sbatch_script("#SBATCH --nodes=\n")
+
+
+def test_exclusive_takes_no_value():
+    with pytest.raises(SchedulerError, match="no value"):
+        parse_sbatch_script("#SBATCH --exclusive=yes\n")
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("10", 600.0),
+        ("02:30", 150.0),
+        ("01:00:00", 3600.0),
+        ("1-00:00:00", 86400.0),
+    ],
+)
+def test_time_formats(text, expected):
+    assert parse_time_limit(text) == expected
+
+
+def test_bad_time_rejected():
+    with pytest.raises(SchedulerError):
+        parse_time_limit("abc")
+    with pytest.raises(SchedulerError):
+        parse_time_limit("0")
+    with pytest.raises(SchedulerError):
+        parse_time_limit("1:2:3:4")
+
+
+def test_to_spec_roundtrip():
+    s = parse_sbatch_script(GOOD_SCRIPT)
+    spec = s.to_spec(WorkloadProfile(base_runtime=100, mem_demand=0.8))
+    assert spec.name == "distance_matrix"
+    assert spec.time_limit == 600.0
+    assert spec.exclusive

@@ -1,0 +1,57 @@
+"""Tests for scheduler utilization and Gantt views."""
+
+import pytest
+
+from repro.slurm import JobSpec, Scheduler, WorkloadProfile
+
+
+def spec(name, runtime=10.0, ntasks=1, mem=0.0):
+    return JobSpec(name, WorkloadProfile(runtime, mem), ntasks=ntasks,
+                   time_limit=1000.0)
+
+
+def test_utilization_full_machine():
+    s = Scheduler(num_nodes=1, cores_per_node=2)
+    s.submit(spec("a", runtime=10.0, ntasks=2))
+    s.run()
+    assert s.utilization() == pytest.approx(1.0)
+
+
+def test_utilization_half_machine():
+    s = Scheduler(num_nodes=1, cores_per_node=4)
+    s.submit(spec("a", runtime=10.0, ntasks=2))
+    s.run()
+    assert s.utilization() == pytest.approx(0.5)
+
+
+def test_utilization_before_running():
+    s = Scheduler(num_nodes=1)
+    assert s.utilization() == 0.0
+
+
+def test_gantt_layout():
+    s = Scheduler(num_nodes=1, cores_per_node=2)
+    s.submit(spec("first", runtime=10.0, ntasks=2))
+    s.submit(spec("second", runtime=5.0, ntasks=2))
+    s.run()
+    chart = s.gantt(width=30)
+    lines = chart.splitlines()
+    assert "first" in lines[1] and "second" in lines[2]
+    # The second job's bar starts after the first's ends.
+    first_bar = lines[1].index("#")
+    second_bar = lines[2].index("#")
+    assert second_bar > first_bar
+
+
+def test_gantt_empty():
+    s = Scheduler(num_nodes=1)
+    assert "no jobs" in s.gantt()
+
+
+def test_gantt_concurrent_jobs_overlap():
+    s = Scheduler(num_nodes=1, cores_per_node=4)
+    s.submit(spec("a", runtime=10.0, ntasks=2))
+    s.submit(spec("b", runtime=10.0, ntasks=2))
+    s.run()
+    lines = s.gantt(width=30).splitlines()
+    assert lines[1].index("#") == lines[2].index("#")  # same start

@@ -1,0 +1,149 @@
+"""Uppercase (numpy-buffer) API: Send/Recv/Bcast/Scatter/Gather/Reduce."""
+
+import numpy as np
+import pytest
+
+from repro import smpi
+from repro.errors import SMPIError, TruncationError
+
+
+def test_Send_Recv():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.Send(np.arange(10, dtype=np.float64), dest=1, tag=77)
+            return None
+        buf = np.empty(10, dtype=np.float64)
+        comm.Recv(buf, source=0, tag=77)
+        return buf.tolist()
+
+    assert smpi.run(2, fn)[1] == list(range(10))
+
+
+def test_Recv_truncation_error():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.Send(np.zeros(100), dest=1)
+            return None
+        buf = np.empty(10)
+        comm.Recv(buf, source=0)
+
+    with pytest.raises(TruncationError):
+        smpi.run(2, fn)
+
+
+def test_Recv_shorter_message_ok():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.Send(np.ones(3), dest=1)
+            return None
+        buf = np.zeros(10)
+        st = smpi.Status()
+        comm.Recv(buf, source=0, status=st)
+        return (buf[:4].tolist(), st.Get_count(8))
+
+    out = smpi.run(2, fn)[1]
+    assert out == ([1.0, 1.0, 1.0, 0.0], 3)
+
+
+def test_Isend_Irecv():
+    def fn(comm):
+        if comm.rank == 0:
+            req = comm.Isend(np.full(5, 2.5), dest=1)
+            req.wait()
+            return None
+        buf = np.zeros(5)
+        req = comm.Irecv(buf, source=0)
+        req.wait()
+        return buf.sum()
+
+    assert smpi.run(2, fn)[1] == pytest.approx(12.5)
+
+
+def test_Bcast_fills_buffers():
+    def fn(comm):
+        buf = np.arange(4.0) if comm.rank == 0 else np.zeros(4)
+        comm.Bcast(buf, root=0)
+        return buf.tolist()
+
+    results = smpi.run(3, fn)
+    assert all(r == [0.0, 1.0, 2.0, 3.0] for r in results)
+
+
+def test_Scatter_rows():
+    def fn(comm):
+        send = None
+        if comm.rank == 0:
+            send = np.arange(comm.size * 3, dtype=np.float64).reshape(comm.size, 3)
+        recv = np.empty(3)
+        comm.Scatter(send, recv, root=0)
+        return recv.tolist()
+
+    results = smpi.run(3, fn)
+    assert results[2] == [6.0, 7.0, 8.0]
+
+
+def test_Scatter_indivisible_raises():
+    def fn(comm):
+        send = np.zeros(5) if comm.rank == 0 else None
+        recv = np.empty(2)
+        comm.Scatter(send, recv, root=0)
+
+    with pytest.raises(SMPIError, match="divisible"):
+        smpi.run(2, fn)
+
+
+def test_Gather_concatenates():
+    def fn(comm):
+        send = np.full(2, float(comm.rank))
+        recv = np.empty(comm.size * 2) if comm.rank == 0 else None
+        comm.Gather(send, recv, root=0)
+        return recv.tolist() if comm.rank == 0 else None
+
+    results = smpi.run(3, fn)
+    assert results[0] == [0.0, 0.0, 1.0, 1.0, 2.0, 2.0]
+
+
+def test_Gather_root_needs_buffer():
+    def fn(comm):
+        comm.Gather(np.zeros(1), None, root=0)
+
+    with pytest.raises(SMPIError, match="recvbuf"):
+        smpi.run(2, fn)
+
+
+def test_Allgather():
+    def fn(comm):
+        recv = np.empty(comm.size)
+        comm.Allgather(np.array([float(comm.rank)]), recv)
+        return recv.tolist()
+
+    assert smpi.run(4, fn) == [[0.0, 1.0, 2.0, 3.0]] * 4
+
+
+def test_Reduce_and_Allreduce():
+    def fn(comm):
+        send = np.full(3, float(comm.rank + 1))
+        out_r = np.zeros(3) if comm.rank == 0 else None
+        comm.Reduce(send, out_r, op=smpi.SUM, root=0)
+        out_a = np.zeros(3)
+        comm.Allreduce(send, out_a, op=smpi.MAX)
+        return (
+            out_r.tolist() if comm.rank == 0 else None,
+            out_a.tolist(),
+        )
+
+    results = smpi.run(3, fn)
+    assert results[0][0] == [6.0, 6.0, 6.0]
+    assert results[2][1] == [3.0, 3.0, 3.0]
+
+
+def test_buffer_dtype_conversion():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.Send(np.arange(4, dtype=np.int32), dest=1)
+            return None
+        buf = np.zeros(4, dtype=np.float64)
+        comm.Recv(buf, source=0)
+        return buf.tolist()
+
+    assert smpi.run(2, fn)[1] == [0.0, 1.0, 2.0, 3.0]

@@ -1,0 +1,183 @@
+"""Virtual-time semantics: network costs, compute charging, contention."""
+
+import numpy as np
+import pytest
+
+from repro import smpi
+from repro.cluster import ClusterSpec, NodeSpec, NetworkSpec, Placement
+from repro.smpi.clock import VirtualClock
+from repro.errors import ValidationError
+
+
+def test_clock_basics():
+    c = VirtualClock()
+    assert c.now == 0.0
+    c.advance(1.5)
+    assert c.now == 1.5
+    c.advance_to(1.0)  # no going back
+    assert c.now == 1.5
+    c.advance_to(2.0)
+    assert c.now == 2.0
+    with pytest.raises(ValidationError):
+        c.advance(-1)
+
+
+def test_compute_charges_roofline_time(one_node_cluster):
+    node = one_node_cluster.node
+
+    def fn(comm):
+        comm.compute(flops=node.flops_per_core)  # exactly 1 second of flops
+        return comm.wtime()
+
+    out = smpi.run(1, fn, cluster=one_node_cluster)
+    assert out[0] == pytest.approx(1.0)
+
+
+def test_memory_bound_compute_slows_with_packed_ranks():
+    """8 streaming ranks packed on one node each get 1/8 bandwidth;
+    spread over two nodes each gets 1/4 (core cap = node bw / 4)."""
+    spec = ClusterSpec(num_nodes=2, node=NodeSpec(cores=8))
+    nbytes = spec.node.mem_bandwidth  # 1 second at full node bandwidth
+
+    def fn(comm):
+        comm.compute(nbytes=nbytes)
+        return comm.wtime()
+
+    packed = smpi.run(8, fn, cluster=spec, placement=Placement.block(spec, 8))
+    spread = smpi.run(8, fn, cluster=spec, placement=Placement.spread(spec, 8))
+    assert packed[0] == pytest.approx(8.0)
+    assert spread[0] == pytest.approx(4.0)  # 4 ranks per node: saturated
+
+
+def test_compute_bound_unaffected_by_packing():
+    spec = ClusterSpec(num_nodes=2, node=NodeSpec(cores=4))
+    flops = spec.node.flops_per_core
+
+    def fn(comm):
+        comm.compute(flops=flops)
+        return comm.wtime()
+
+    packed = smpi.run(4, fn, cluster=spec, placement=Placement.block(spec, 4))
+    spread = smpi.run(4, fn, cluster=spec, placement=Placement.spread(spec, 4))
+    assert packed[0] == pytest.approx(spread[0]) == pytest.approx(1.0)
+
+
+def test_message_time_scales_with_size(one_node_cluster):
+    def fn(comm, n):
+        if comm.rank == 0:
+            comm.send(np.zeros(n), dest=1)
+            return None
+        comm.recv(source=0)
+        return comm.wtime()
+
+    t_small = smpi.run(2, fn, 10, cluster=one_node_cluster)[1]
+    t_large = smpi.run(2, fn, 100_000, cluster=one_node_cluster)[1]
+    assert t_large > t_small
+
+
+def test_inter_node_messages_slower_than_intra():
+    spec = ClusterSpec(num_nodes=2, node=NodeSpec(cores=4))
+
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send(np.zeros(512), dest=1)
+            return None
+        comm.recv(source=0)
+        return comm.wtime()
+
+    same = smpi.run(2, fn, cluster=spec, placement=Placement.block(spec, 2))
+    cross = smpi.run(2, fn, cluster=spec, placement=Placement.spread(spec, 2))
+    assert cross[1] > same[1]
+
+
+def test_recv_waits_for_arrival(one_node_cluster):
+    """An early receiver's clock jumps to the message arrival time."""
+    net = one_node_cluster.network
+    n = 1000
+
+    def fn(comm):
+        if comm.rank == 0:
+            comm.compute(seconds=5.0)
+            comm.send(np.zeros(n // 8), dest=1)
+            return None
+        comm.recv(source=0)
+        return comm.wtime()
+
+    t = smpi.run(2, fn, cluster=one_node_cluster)[1]
+    assert t == pytest.approx(5.0 + net.ptp_time(n, same_node=True))
+
+
+def test_eager_sender_does_not_wait(one_node_cluster):
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send("tiny", dest=1)
+            t = comm.wtime()
+            comm.recv(source=1)  # keep world clean
+            return t
+        comm.compute(seconds=3.0)
+        comm.recv(source=0)
+        comm.send("ack", dest=0)
+        return None
+
+    t_after_send = smpi.run(2, fn, cluster=one_node_cluster)[0]
+    assert t_after_send < 1e-3  # returned long before the receiver acted
+
+
+def test_rendezvous_sender_waits_for_receiver(one_node_cluster):
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send(np.zeros(100_000), dest=1)
+            return comm.wtime()
+        comm.compute(seconds=2.0)
+        comm.recv(source=0)
+        return None
+
+    t = smpi.run(2, fn, cluster=one_node_cluster)[0]
+    assert t >= 2.0
+
+
+def test_barrier_synchronizes_clocks(one_node_cluster):
+    def fn(comm):
+        comm.compute(seconds=float(comm.rank))
+        comm.barrier()
+        return comm.wtime()
+
+    times = smpi.run(4, fn, cluster=one_node_cluster)
+    assert max(times) - min(times) < 1e-9
+    assert times[0] >= 3.0  # everyone waits for the slowest
+
+
+def test_collective_cost_grows_with_size(one_node_cluster):
+    def fn(comm, n):
+        comm.allreduce(np.zeros(n), op=smpi.SUM)
+        return comm.wtime()
+
+    t_small = smpi.run(4, fn, 8, cluster=one_node_cluster)[0]
+    t_large = smpi.run(4, fn, 100_000, cluster=one_node_cluster)[0]
+    assert t_large > t_small
+
+
+def test_elapsed_is_max_rank_time(one_node_cluster):
+    def fn(comm):
+        comm.compute(seconds=1.0 + comm.rank)
+        return None
+
+    out = smpi.launch(3, fn, cluster=one_node_cluster)
+    assert out.elapsed == pytest.approx(3.0)
+    assert out.world.rank_time(0) == pytest.approx(1.0)
+
+
+def test_external_demand_slows_memory_phase():
+    spec = ClusterSpec(num_nodes=1, node=NodeSpec(cores=8))
+    nbytes = spec.node.mem_bandwidth
+
+    def fn(comm):
+        comm.compute(nbytes=nbytes)
+        return comm.wtime()
+
+    # Alone: capped by the core draw (bw/4) => 4 s of streaming.
+    alone = smpi.run(1, fn, cluster=spec)[0]
+    assert alone == pytest.approx(4.0)
+    # A 7-rank-equivalent co-runner shrinks the share to bw/8 => 8 s.
+    contended = smpi.run(1, fn, cluster=spec, external_demand={0: 7.0})[0]
+    assert contended == pytest.approx(2 * alone)

@@ -1,0 +1,136 @@
+"""Regression tests pinning the collective cost formulas exactly.
+
+These are the costs DESIGN.md documents; if a formula changes, these
+tests force the change to be deliberate (and EXPERIMENTS.md re-checked).
+"""
+
+import numpy as np
+import pytest
+
+from repro import smpi
+from repro.cluster import ClusterSpec, NodeSpec, NetworkSpec
+from repro.smpi.collectives import REDUCE_GAMMA_FACTOR, log2ceil
+
+
+NET = NetworkSpec(alpha_intra=1e-6, beta_intra=1e-9, eager_threshold=4096)
+SPEC = ClusterSpec(num_nodes=1, node=NodeSpec(cores=16), network=NET)
+
+
+def run_and_time(p, fn, *args):
+    out = smpi.launch(p, fn, *args, cluster=SPEC)
+    return out.elapsed
+
+
+@pytest.mark.parametrize("p", [2, 4, 5, 8])
+def test_barrier_cost(p):
+    def fn(comm):
+        comm.barrier()
+
+    expected = 2 * log2ceil(p) * NET.alpha_intra
+    assert run_and_time(p, fn) == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("p,nbytes", [(2, 800), (8, 8000)])
+def test_bcast_cost_binomial_tree(p, nbytes):
+    payload = np.zeros(nbytes // 8)
+
+    def fn(comm):
+        comm.bcast(payload if comm.rank == 0 else None, root=0)
+
+    expected = log2ceil(p) * (NET.alpha_intra + nbytes * NET.beta_intra)
+    assert run_and_time(p, fn) == pytest.approx(expected)
+
+
+def test_scatter_cost_linear_from_root():
+    p, piece = 8, 800
+    payload = [np.zeros(piece // 8)] * p
+
+    def fn(comm):
+        comm.scatter(payload if comm.rank == 0 else None, root=0)
+
+    expected = (p - 1) * (NET.alpha_intra + piece * NET.beta_intra)
+    assert run_and_time(p, fn) == pytest.approx(expected)
+
+
+def test_reduce_cost_includes_gamma():
+    p, nbytes = 4, 8000
+    payload = np.zeros(nbytes // 8)
+
+    def fn(comm):
+        comm.reduce(payload, op=smpi.SUM, root=0)
+
+    gamma = NET.beta_intra * REDUCE_GAMMA_FACTOR
+    expected = log2ceil(p) * (NET.alpha_intra + nbytes * (NET.beta_intra + gamma))
+    assert run_and_time(p, fn) == pytest.approx(expected)
+
+
+def test_allreduce_same_cost_as_reduce():
+    p, nbytes = 8, 4000
+    payload = np.zeros(nbytes // 8)
+
+    def reduce_fn(comm):
+        comm.reduce(payload, op=smpi.SUM, root=0)
+
+    def allreduce_fn(comm):
+        comm.allreduce(payload, op=smpi.SUM)
+
+    assert run_and_time(p, reduce_fn) == pytest.approx(run_and_time(p, allreduce_fn))
+
+
+def test_allgather_ring_cost():
+    p, piece = 4, 800
+    payload = np.zeros(piece // 8)
+
+    def fn(comm):
+        comm.allgather(payload)
+
+    expected = (p - 1) * (NET.alpha_intra + piece * NET.beta_intra)
+    assert run_and_time(p, fn) == pytest.approx(expected)
+
+
+def test_alltoall_per_rank_cost_tracks_imbalance():
+    """The heaviest sender/receiver pays the most — the mechanism that
+    makes Module 3's skewed exchange slow."""
+    p = 4
+
+    def fn(comm):
+        # Rank 0 sends big pieces to everyone; others send tiny ones.
+        size = 8000 if comm.rank == 0 else 8
+        comm.alltoall([np.zeros(size // 8)] * comm.size)
+        return comm.wtime()
+
+    out = smpi.launch(p, fn, cluster=SPEC)
+    times = out.results
+    # Rank 0 (heavy sender) finishes last among non-receivers of its data?
+    # All ranks receive one 8 kB piece; rank 0 sends 3 of them.
+    assert times[0] > times[2]
+
+
+def test_ptp_eager_arrival_time():
+    nbytes = 800  # eager
+
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send(np.zeros(nbytes // 8), dest=1)
+            return None
+        comm.recv(source=0)
+        return comm.wtime()
+
+    expected = NET.alpha_intra + nbytes * NET.beta_intra
+    out = smpi.launch(2, fn, cluster=SPEC)
+    assert out.results[1] == pytest.approx(expected)
+
+
+def test_ptp_rendezvous_completion_time():
+    nbytes = 80_000  # rendezvous
+
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send(np.zeros(nbytes // 8), dest=1)
+            return comm.wtime()
+        return comm.recv(source=0) is not None and comm.wtime()
+
+    out = smpi.launch(2, fn, cluster=SPEC)
+    expected = NET.alpha_intra + nbytes * NET.beta_intra
+    assert out.results[0] == pytest.approx(expected)
+    assert out.results[1] == pytest.approx(expected)

@@ -1,0 +1,217 @@
+"""Collective semantics across all kinds, ops, roots and sizes."""
+
+import numpy as np
+import pytest
+
+from repro import smpi
+from repro.errors import SMPIError, InvalidRankError
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+def test_bcast(p):
+    def fn(comm):
+        return comm.bcast("payload" if comm.rank == 0 else None, root=0)
+
+    assert smpi.run(p, fn) == ["payload"] * p
+
+
+def test_bcast_nonzero_root():
+    def fn(comm):
+        return comm.bcast(comm.rank if comm.rank == 2 else None, root=2)
+
+    assert smpi.run(4, fn) == [2, 2, 2, 2]
+
+
+def test_bcast_array_not_aliased():
+    def fn(comm):
+        arr = comm.bcast(np.zeros(3) if comm.rank == 0 else None)
+        arr += comm.rank  # ranks must not share the array
+        return float(arr[0])
+
+    assert smpi.run(3, fn) == [0.0, 1.0, 2.0]
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 7])
+def test_scatter_gather_roundtrip(p):
+    def fn(comm):
+        piece = comm.scatter(
+            [i * i for i in range(comm.size)] if comm.rank == 0 else None
+        )
+        assert piece == comm.rank**2
+        return comm.gather(piece, root=0)
+
+    results = smpi.run(p, fn)
+    assert results[0] == [i * i for i in range(p)]
+    assert all(r is None for r in results[1:])
+
+
+def test_scatter_wrong_length_raises():
+    def fn(comm):
+        comm.scatter([1, 2, 3] if comm.rank == 0 else None)
+
+    with pytest.raises(SMPIError, match="sequence of exactly 2"):
+        smpi.run(2, fn)
+
+
+def test_allgather():
+    def fn(comm):
+        return comm.allgather(chr(ord("a") + comm.rank))
+
+    assert smpi.run(3, fn) == [["a", "b", "c"]] * 3
+
+
+def test_alltoall_transpose():
+    def fn(comm):
+        out = comm.alltoall([(comm.rank, j) for j in range(comm.size)])
+        return out
+
+    results = smpi.run(3, fn)
+    for j, row in enumerate(results):
+        assert row == [(i, j) for i in range(3)]
+
+
+def test_alltoall_variable_sizes():
+    """Item sizes can differ per destination (covers MPI_Alltoallv)."""
+
+    def fn(comm):
+        sendobjs = [list(range(comm.rank * j)) for j in range(comm.size)]
+        recv = comm.alltoall(sendobjs)
+        return [len(x) for x in recv]
+
+    results = smpi.run(3, fn)
+    assert results[2] == [0, 2, 4]
+
+
+def test_alltoall_wrong_length_raises():
+    def fn(comm):
+        comm.alltoall([1] * (comm.size + 1))
+
+    with pytest.raises(SMPIError, match="alltoall"):
+        smpi.run(2, fn)
+
+
+@pytest.mark.parametrize(
+    "op,expected",
+    [
+        (smpi.SUM, 0 + 1 + 2 + 3),
+        (smpi.PROD, 0),
+        (smpi.MAX, 3),
+        (smpi.MIN, 0),
+    ],
+)
+def test_reduce_ops(op, expected):
+    def fn(comm):
+        return comm.reduce(comm.rank, op=op, root=0)
+
+    results = smpi.run(4, fn)
+    assert results[0] == expected
+    assert results[1] is None
+
+
+def test_reduce_arrays_elementwise():
+    def fn(comm):
+        return comm.allreduce(np.full(3, comm.rank, dtype=float), op=smpi.SUM)
+
+    results = smpi.run(3, fn)
+    for r in results:
+        assert np.array_equal(r, np.full(3, 3.0))
+
+
+def test_allreduce_logical():
+    def fn(comm):
+        return (
+            comm.allreduce(comm.rank > 0, op=smpi.LAND),
+            comm.allreduce(comm.rank > 0, op=smpi.LOR),
+        )
+
+    results = smpi.run(3, fn)
+    assert results[0] == (False, True)
+
+
+def test_minloc_maxloc():
+    def fn(comm):
+        values = [5.0, 1.0, 9.0, 1.0]
+        contribution = (values[comm.rank], comm.rank)
+        return (
+            comm.allreduce(contribution, op=smpi.MINLOC),
+            comm.allreduce(contribution, op=smpi.MAXLOC),
+        )
+
+    results = smpi.run(4, fn)
+    # Ties broken toward the lower rank, as in MPI.
+    assert results[0] == ((1.0, 1), (9.0, 2))
+
+
+def test_scan_exscan():
+    def fn(comm):
+        return (comm.scan(comm.rank + 1), comm.exscan(comm.rank + 1))
+
+    results = smpi.run(4, fn)
+    assert [r[0] for r in results] == [1, 3, 6, 10]
+    assert [r[1] for r in results] == [None, 1, 3, 6]
+
+
+def test_barrier_returns_none_everywhere():
+    def fn(comm):
+        return comm.barrier()
+
+    assert smpi.run(5, fn) == [None] * 5
+
+
+def test_bitwise_ops():
+    def fn(comm):
+        mask = 1 << comm.rank
+        return (
+            comm.allreduce(mask, op=smpi.BOR),
+            comm.allreduce(0b1110 | mask, op=smpi.BAND),
+        )
+
+    results = smpi.run(3, fn)
+    assert results[0][0] == 0b111
+
+
+def test_mismatched_collectives_raise_not_hang():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.barrier()
+        else:
+            comm.allreduce(1, op=smpi.SUM)
+
+    with pytest.raises(SMPIError, match="mismatch"):
+        smpi.run(2, fn)
+
+
+def test_mismatched_roots_raise():
+    def fn(comm):
+        comm.bcast("x", root=comm.rank)
+
+    with pytest.raises(SMPIError, match="root"):
+        smpi.run(2, fn)
+
+
+def test_invalid_root_raises():
+    def fn(comm):
+        comm.bcast("x", root=10)
+
+    with pytest.raises(InvalidRankError):
+        smpi.run(2, fn)
+
+
+def test_reduce_requires_op_contract():
+    def fn(comm):
+        return comm.allreduce(comm.rank)  # default SUM works
+
+    assert smpi.run(3, fn) == [3, 3, 3]
+
+
+def test_collective_sequence_reuse():
+    """Many back-to-back collectives on one communicator stay in step."""
+
+    def fn(comm):
+        total = 0
+        for i in range(20):
+            total += comm.allreduce(i, op=smpi.SUM)
+        return total
+
+    expected = sum(i * 3 for i in range(20))
+    assert smpi.run(3, fn) == [expected] * 3

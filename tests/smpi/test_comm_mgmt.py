@@ -1,0 +1,105 @@
+"""Communicator management: split, dup, isolation between communicators."""
+
+import pytest
+
+from repro import smpi
+
+
+def test_split_by_parity():
+    def fn(comm):
+        sub = comm.split(color=comm.rank % 2, key=comm.rank)
+        return (sub.rank, sub.size, sub.allreduce(comm.rank))
+
+    results = smpi.run(4, fn)
+    assert results[0] == (0, 2, 0 + 2)
+    assert results[1] == (0, 2, 1 + 3)
+    assert results[2] == (1, 2, 0 + 2)
+    assert results[3] == (1, 2, 1 + 3)
+
+
+def test_split_key_reorders():
+    def fn(comm):
+        sub = comm.split(color=0, key=-comm.rank)  # reverse order
+        return sub.rank
+
+    results = smpi.run(3, fn)
+    assert results == [2, 1, 0]
+
+
+def test_split_undefined_color_returns_none():
+    def fn(comm):
+        sub = comm.split(color=None if comm.rank == 0 else 1)
+        if sub is None:
+            return "excluded"
+        return sub.allreduce(1)
+
+    results = smpi.run(3, fn)
+    assert results == ["excluded", 2, 2]
+
+
+def test_dup_isolates_collective_sequences():
+    def fn(comm):
+        dup = comm.dup()
+        a = comm.allreduce(1)
+        b = dup.allreduce(2)
+        return (a, b)
+
+    results = smpi.run(3, fn)
+    assert results == [(3, 6)] * 3
+
+
+def test_p2p_isolated_between_communicators():
+    """A message sent on comm A is not received on comm B."""
+
+    def fn(comm):
+        dup = comm.dup()
+        if comm.rank == 0:
+            comm.send("on-world", dest=1, tag=3)
+            dup.send("on-dup", dest=1, tag=3)
+            return None
+        first = dup.recv(source=0, tag=3)
+        second = comm.recv(source=0, tag=3)
+        return (first, second)
+
+    results = smpi.run(2, fn)
+    assert results[1] == ("on-dup", "on-world")
+
+
+def test_nested_split():
+    def fn(comm):
+        half = comm.split(color=comm.rank // 2, key=comm.rank)
+        pair_sum = half.allreduce(comm.rank)
+        solo = half.split(color=half.rank, key=0)
+        return (pair_sum, solo.size)
+
+    results = smpi.run(4, fn)
+    assert results[0] == (1, 1)
+    assert results[3] == (5, 1)
+
+
+def test_split_comm_ranks_translate_correctly():
+    """World ranks 1..3 form a sub-comm; p2p inside it uses sub ranks."""
+
+    def fn(comm):
+        sub = comm.split(color=0 if comm.rank == 0 else 1, key=comm.rank)
+        if comm.rank == 0:
+            return None
+        if sub.rank == 0:  # world rank 1
+            sub.send("hello", dest=2)
+            return None
+        if sub.rank == 2:  # world rank 3
+            st = smpi.Status()
+            msg = sub.recv(source=smpi.ANY_SOURCE, status=st)
+            return (msg, st.Get_source())
+        return None
+
+    results = smpi.run(4, fn)
+    assert results[3] == ("hello", 0)
+
+
+def test_repeated_splits_consistent():
+    def fn(comm):
+        subs = [comm.split(color=0, key=comm.rank) for _ in range(3)]
+        return [s.allreduce(1) for s in subs]
+
+    assert smpi.run(2, fn) == [[2, 2, 2]] * 2

@@ -1,0 +1,132 @@
+"""Deadlock detection — Module 1's learning outcome 3 as a feature."""
+
+import numpy as np
+import pytest
+
+from repro import smpi
+from repro.cluster import ClusterSpec, NodeSpec, NetworkSpec
+
+
+RENDEZVOUS_SIZE = 100_000  # far above the default eager threshold
+
+
+def test_ring_of_large_blocking_sends_deadlocks():
+    """The classic: everyone sends right before anyone receives.  With
+    rendezvous-size messages every send blocks -> cycle."""
+
+    def fn(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        comm.send(np.zeros(RENDEZVOUS_SIZE // 8), dest=right)
+        return comm.recv(source=left)
+
+    with pytest.raises(smpi.DeadlockError) as exc:
+        smpi.run(4, fn)
+    assert "rank 0" in str(exc.value)
+    assert "rendezvous" in str(exc.value)
+
+
+def test_small_messages_ring_completes_eagerly():
+    """The same ring with eager-size messages completes — exactly the
+    size-dependent behaviour students must learn to distrust."""
+
+    def fn(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        comm.send(comm.rank, dest=right)
+        return comm.recv(source=left)
+
+    assert smpi.run(4, fn) == [3, 0, 1, 2]
+
+
+def test_eager_threshold_controls_the_boundary(tiny_eager_cluster):
+    """With a 64-byte threshold even a modest array deadlocks."""
+
+    def fn(comm):
+        right = (comm.rank + 1) % comm.size
+        comm.send(np.zeros(32), dest=right)  # 256 B > 64 B threshold
+        return comm.recv(source=(comm.rank - 1) % comm.size)
+
+    with pytest.raises(smpi.DeadlockError):
+        smpi.run(4, fn, cluster=tiny_eager_cluster)
+
+
+def test_odd_even_ordering_fixes_the_ring():
+    """The canonical fix: alternate send/recv order by parity."""
+
+    def fn(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        payload = np.full(RENDEZVOUS_SIZE // 8, float(comm.rank))
+        if comm.rank % 2 == 0:
+            comm.send(payload, dest=right)
+            got = comm.recv(source=left)
+        else:
+            got = comm.recv(source=left)
+            comm.send(payload, dest=right)
+        return float(got[0])
+
+    assert smpi.run(4, fn) == [3.0, 0.0, 1.0, 2.0]
+
+
+def test_ssend_self_deadlock():
+    def fn(comm):
+        comm.ssend("never", dest=comm.rank)
+
+    with pytest.raises(smpi.DeadlockError):
+        smpi.run(1, fn)
+
+
+def test_mutual_recv_deadlock():
+    def fn(comm):
+        other = 1 - comm.rank
+        comm.recv(source=other)
+
+    with pytest.raises(smpi.DeadlockError):
+        smpi.run(2, fn)
+
+
+def test_deadlock_message_names_all_blocked_ranks():
+    def fn(comm):
+        comm.recv(source=(comm.rank + 1) % comm.size)
+
+    with pytest.raises(smpi.DeadlockError) as exc:
+        smpi.run(3, fn)
+    text = str(exc.value)
+    for rank in range(3):
+        assert f"rank {rank}" in text
+
+
+def test_no_false_positive_under_straggler():
+    """One rank computing for a long while must not trigger detection."""
+
+    def fn(comm):
+        if comm.rank == 0:
+            comm.compute(seconds=10.0)  # virtual time: instant in real time
+            comm.send("late", dest=1)
+            return None
+        return comm.recv(source=0)
+
+    assert smpi.run(2, fn)[1] == "late"
+
+
+def test_missing_collective_participant_detected():
+    def fn(comm):
+        if comm.rank == 0:
+            return None  # rank 0 forgets the barrier
+        comm.barrier()
+
+    with pytest.raises(smpi.DeadlockError) as exc:
+        smpi.run(3, fn)
+    assert "MPI_Barrier" in str(exc.value)
+
+
+def test_tag_mismatch_detected():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.ssend("x", dest=1, tag=1)
+        else:
+            comm.recv(source=0, tag=2)
+
+    with pytest.raises(smpi.DeadlockError):
+        smpi.run(2, fn)

@@ -1,0 +1,100 @@
+"""Soak tests for the deadlock detector: random *correct* communication
+programs must never trigger a false positive, and random *incorrect*
+ones must be caught rather than hang."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import smpi
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    p=st.integers(min_value=2, max_value=5),
+    seed=st.integers(0, 2**16),
+    n_messages=st.integers(min_value=1, max_value=6),
+)
+def test_random_safe_programs_never_false_positive(p, seed, n_messages):
+    """Each rank isends to random peers then receives what's addressed
+    to it — always completable, whatever the interleaving."""
+    rng = np.random.default_rng(seed)
+    dest_matrix = [
+        rng.choice([r for r in range(p) if r != me], size=n_messages)
+        for me in range(p)
+    ]
+    incoming = [
+        sum(int((dest_matrix[src] == me).sum()) for src in range(p) if src != me)
+        for me in range(p)
+    ]
+
+    def fn(comm):
+        reqs = [
+            comm.isend(float(i), dest=int(d), tag=0)
+            for i, d in enumerate(dest_matrix[comm.rank])
+        ]
+        total = sum(comm.recv(source=smpi.ANY_SOURCE, tag=0)
+                    for _ in range(incoming[comm.rank]))
+        smpi.waitall(reqs)
+        return total
+
+    results = smpi.run(p, fn)  # must not raise DeadlockError
+    assert sum(results) == sum(
+        float(i) for me in range(p) for i in range(n_messages)
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    p=st.integers(min_value=2, max_value=4),
+    seed=st.integers(0, 2**16),
+)
+def test_random_broken_programs_always_detected(p, seed):
+    """One random rank skips its send: the matching recv can never be
+    satisfied and the detector must fire (not hang)."""
+    rng = np.random.default_rng(seed)
+    silent = int(rng.integers(0, p))
+    receiver = int((silent + 1) % p)
+
+    def fn(comm):
+        # Everyone sends to their right neighbour — except the silent rank.
+        right = (comm.rank + 1) % comm.size
+        if comm.rank != silent:
+            comm.bsend(comm.rank, dest=right, tag=1)
+        comm.recv(source=(comm.rank - 1) % comm.size, tag=1)
+
+    try:
+        smpi.run(p, fn)
+        raise AssertionError("expected a DeadlockError")
+    except smpi.DeadlockError as exc:
+        assert f"rank {receiver}" in str(exc)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    p=st.integers(min_value=2, max_value=5),
+    rounds=st.integers(min_value=1, max_value=5),
+    seed=st.integers(0, 2**16),
+)
+def test_mixed_collective_p2p_rounds_complete(p, rounds, seed):
+    """Random alternation of collectives and neighbour exchanges stays
+    live and deterministic in its results."""
+    rng = np.random.default_rng(seed)
+    plan = rng.integers(0, 3, size=rounds).tolist()
+
+    def fn(comm):
+        acc = comm.rank
+        for op in plan:
+            if op == 0:
+                acc = comm.allreduce(acc, op=smpi.SUM)
+            elif op == 1:
+                acc = comm.sendrecv(
+                    acc, dest=(comm.rank + 1) % comm.size,
+                    source=(comm.rank - 1) % comm.size,
+                )
+            else:
+                comm.barrier()
+        return acc
+
+    first = smpi.run(p, fn)
+    second = smpi.run(p, fn)
+    assert first == second

@@ -1,0 +1,152 @@
+"""Edge-case coverage for the smpi runtime."""
+
+import numpy as np
+import pytest
+
+from repro import smpi
+from repro.errors import ValidationError
+from repro.smpi.datatypes import Op
+
+
+def test_probe_rendezvous_message_then_recv():
+    """Probing a rendezvous message reports its size without consuming
+    it; the later recv completes the handshake."""
+
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send(np.zeros(100_000), dest=1)  # rendezvous-size
+            return None
+        st = comm.probe(source=0)
+        n = st.Get_count(8)
+        arr = comm.recv(source=0)
+        return (n, arr.size)
+
+    assert smpi.run(2, fn)[1] == (100_000, 100_000)
+
+
+def test_sendrecv_with_self():
+    def fn(comm):
+        return comm.sendrecv(f"mine-{comm.rank}", dest=comm.rank, source=comm.rank)
+
+    assert smpi.run(3, fn) == ["mine-0", "mine-1", "mine-2"]
+
+
+def test_split_everyone_undefined():
+    def fn(comm):
+        return comm.split(color=None)
+
+    assert smpi.run(3, fn) == [None, None, None]
+
+
+def test_noncommutative_reduction_respects_rank_order():
+    concat = Op("CONCAT", lambda a, b: a + b, commutative=False)
+
+    def fn(comm):
+        return comm.reduce(chr(ord("a") + comm.rank), op=concat, root=0)
+
+    results = smpi.run(4, fn)
+    assert results[0] == "abcd"
+
+
+def test_noncommutative_scan():
+    concat = Op("CONCAT", lambda a, b: a + b, commutative=False)
+
+    def fn(comm):
+        return comm.scan(str(comm.rank), op=concat)
+
+    assert smpi.run(3, fn) == ["0", "01", "012"]
+
+
+def test_bcast_array_from_last_rank():
+    def fn(comm):
+        root = comm.size - 1
+        payload = np.arange(5.0) if comm.rank == root else None
+        return comm.bcast(payload, root=root).sum()
+
+    assert smpi.run(4, fn) == [10.0] * 4
+
+
+def test_exscan_with_max():
+    def fn(comm):
+        values = [3, 1, 4, 1]
+        return comm.exscan(values[comm.rank], op=smpi.MAX)
+
+    assert smpi.run(4, fn) == [None, 3, 3, 4]
+
+
+def test_zero_byte_messages():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send(b"", dest=1)
+            comm.send(None, dest=1, tag=1)
+            return None
+        st = smpi.Status()
+        empty = comm.recv(source=0, status=st)
+        none = comm.recv(source=0, tag=1)
+        return (empty, st.nbytes, none)
+
+    assert smpi.run(2, fn)[1] == (b"", 0, None)
+
+
+def test_max_tag_accepted_above_rejected():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send("edge", dest=1, tag=smpi.TAG_UB)
+            return None
+        return comm.recv(source=0, tag=smpi.TAG_UB)
+
+    assert smpi.run(2, fn)[1] == "edge"
+
+    def bad(comm):
+        comm.send("x", dest=0, tag=smpi.TAG_UB + 1)
+
+    with pytest.raises(smpi.InvalidTagError):
+        smpi.run(2, bad)
+
+
+def test_status_get_count_non_multiple_raises():
+    st = smpi.Status(nbytes=10)
+    with pytest.raises(ValidationError):
+        st.Get_count(8)
+    assert st.Get_count(5) == 2
+    with pytest.raises(ValidationError):
+        st.Get_count(0)
+
+
+def test_single_rank_world_collectives():
+    def fn(comm):
+        return (
+            comm.bcast("solo"),
+            comm.allreduce(7),
+            comm.scatter(["only"]),
+            comm.gather("g"),
+            comm.alltoall(["a"]),
+            comm.scan(5),
+        )
+
+    out = smpi.run(1, fn)[0]
+    assert out == ("solo", 7, "only", ["g"], ["a"], 5)
+
+
+def test_interleaved_tags_many_partners():
+    """A stress pattern: every pair exchanges on distinct tags."""
+
+    def fn(comm):
+        reqs = []
+        for peer in range(comm.size):
+            if peer == comm.rank:
+                continue
+            tag = comm.rank * comm.size + peer
+            reqs.append(comm.isend((comm.rank, peer), dest=peer, tag=tag))
+        got = []
+        for peer in range(comm.size):
+            if peer == comm.rank:
+                continue
+            tag = peer * comm.size + comm.rank
+            got.append(comm.recv(source=peer, tag=tag))
+        smpi.waitall(reqs)
+        return sorted(got)
+
+    results = smpi.run(4, fn)
+    for me, got in enumerate(results):
+        assert got == sorted((peer, me) for peer in range(4) if peer != me)

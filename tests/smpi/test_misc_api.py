@@ -1,0 +1,37 @@
+"""Tests for miscellaneous communicator API: abort, processor name."""
+
+import pytest
+
+from repro import smpi
+from repro.cluster import ClusterSpec, NodeSpec, Placement
+from repro.errors import CommAbortError
+
+
+def test_processor_name_reflects_placement():
+    spec = ClusterSpec(num_nodes=2, node=NodeSpec(cores=2))
+
+    def fn(comm):
+        return comm.Get_processor_name()
+
+    names = smpi.run(4, fn, cluster=spec, placement=Placement.block(spec, 4))
+    assert names == ["node000", "node000", "node001", "node001"]
+
+
+def test_abort_terminates_everyone():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.abort(42)
+        comm.recv(source=0)  # would hang forever without the abort
+
+    with pytest.raises(CommAbortError, match="errorcode=42"):
+        smpi.run(3, fn)
+
+
+def test_abort_reports_calling_rank():
+    def fn(comm):
+        if comm.rank == 2:
+            comm.abort()
+        comm.barrier()
+
+    with pytest.raises(CommAbortError, match="rank 2"):
+        smpi.run(3, fn)

@@ -1,0 +1,156 @@
+"""Non-blocking communication: isend/irecv/wait/test/waitall/waitany."""
+
+import numpy as np
+import pytest
+
+from repro import smpi
+
+
+def test_isend_wait_roundtrip():
+    def fn(comm):
+        if comm.rank == 0:
+            req = comm.isend({"k": 1}, dest=1, tag=11)
+            req.wait()
+            return "sent"
+        req = comm.irecv(source=0, tag=11)
+        return req.wait()
+
+    assert smpi.run(2, fn) == ["sent", {"k": 1}]
+
+
+def test_irecv_posted_before_send():
+    def fn(comm):
+        if comm.rank == 1:
+            req = comm.irecv(source=0, tag=5)
+            comm.send("unblock", dest=0, tag=6)  # prove we are not blocked
+            return req.wait()
+        comm.recv(source=1, tag=6)
+        comm.send("payload", dest=1, tag=5)
+        return None
+
+    assert smpi.run(2, fn)[1] == "payload"
+
+
+def test_irecv_wait_returns_status():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send(np.arange(4), dest=1, tag=9)
+            return None
+        st = smpi.Status()
+        req = comm.irecv(source=smpi.ANY_SOURCE, tag=smpi.ANY_TAG)
+        msg = req.wait(status=st)
+        return (len(msg), st.Get_source(), st.Get_tag())
+
+    assert smpi.run(2, fn)[1] == (4, 0, 9)
+
+
+def test_test_polls_without_blocking():
+    def fn(comm):
+        if comm.rank == 1:
+            req = comm.irecv(source=0)
+            flag, _ = req.test()
+            comm.send("go", dest=0)  # release the sender
+            while True:
+                flag, payload = req.test()
+                if flag:
+                    return payload
+        comm.recv(source=1)
+        comm.send("answer", dest=1)
+        return None
+
+    assert smpi.run(2, fn)[1] == "answer"
+
+
+def test_waitall_preserves_order():
+    def fn(comm):
+        if comm.rank == 0:
+            reqs = [comm.isend(i, dest=1, tag=i) for i in range(4)]
+            smpi.waitall(reqs)
+            return None
+        reqs = [comm.irecv(source=0, tag=i) for i in range(4)]
+        return smpi.waitall(reqs)
+
+    assert smpi.run(2, fn)[1] == [0, 1, 2, 3]
+
+
+def test_waitall_statuses():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send("a", dest=1, tag=1)
+            comm.send("bb", dest=1, tag=2)
+            return None
+        reqs = [comm.irecv(source=0, tag=t) for t in (1, 2)]
+        statuses = [smpi.Status(), smpi.Status()]
+        smpi.waitall(reqs, statuses)
+        return [s.nbytes for s in statuses]
+
+    assert smpi.run(2, fn)[1] == [1, 2]
+
+
+def test_waitany_returns_a_completed_request():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send("only", dest=1, tag=7)
+            return None
+        reqs = [comm.irecv(source=0, tag=7), comm.irecv(source=0, tag=8)]
+        idx, payload = smpi.waitany(reqs)
+        comm.bsend("fill", dest=comm.rank)  # keep rank alive
+        comm.recv(source=comm.rank)
+        # Cancel bookkeeping not needed: world ends when fn returns.
+        return (idx, payload)
+
+    # tag-8 irecv never matches; waitany must return the tag-7 one.
+    # Note: leaving an unmatched posted irecv behind is legal teardown.
+    out = smpi.run(2, fn)[1]
+    assert out == (0, "only")
+
+
+def test_isend_eager_completes_immediately():
+    def fn(comm):
+        if comm.rank == 0:
+            req = comm.isend(1, dest=1)  # tiny: eager
+            flag, _ = req.test()
+            comm.recv(source=1)  # receiver confirms later
+            return flag
+        comm.recv(source=0)
+        comm.send("ok", dest=0)
+        return None
+
+    assert smpi.run(2, fn)[0] is True
+
+
+def test_isend_rendezvous_overlap():
+    """A large isend lets the sender compute while waiting to match."""
+
+    def fn(comm):
+        big = np.zeros(100_000)
+        if comm.rank == 0:
+            req = comm.isend(big, dest=1)
+            comm.compute(seconds=1.0)  # overlap communication and compute
+            req.wait()
+            return comm.wtime()
+        comm.compute(seconds=0.5)
+        arr = comm.recv(source=0)
+        return arr.size
+
+    out = smpi.run(2, fn)
+    assert out[1] == 100_000
+    assert out[0] >= 1.0  # sender's clock includes its compute
+
+
+def test_many_outstanding_requests():
+    def fn(comm):
+        n = 50
+        if comm.rank == 0:
+            reqs = [comm.isend(i * i, dest=1, tag=i) for i in range(n)]
+            smpi.waitall(reqs)
+            return None
+        reqs = [comm.irecv(source=0, tag=i) for i in range(n)]
+        return sum(smpi.waitall(reqs))
+
+    assert smpi.run(2, fn)[1] == sum(i * i for i in range(50))
+
+
+def test_waitany_empty_raises():
+    with pytest.raises(smpi.SMPIError):
+        smpi.waitany([])

@@ -1,0 +1,216 @@
+"""Point-to-point semantics: matching, ordering, wildcards, status, modes."""
+
+import numpy as np
+import pytest
+
+from repro import smpi
+from repro.errors import InvalidRankError, InvalidTagError
+
+
+def test_basic_send_recv():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+            return None
+        return comm.recv(source=0, tag=11)
+
+    results = smpi.run(2, fn)
+    assert results[1] == {"a": 7, "b": 3.14}
+
+
+def test_numpy_payload_is_copied():
+    """Receivers must not alias the sender's array (thread-shared heap)."""
+
+    def fn(comm):
+        if comm.rank == 0:
+            arr = np.ones(4)
+            comm.send(arr, dest=1)
+            arr[:] = 999.0  # mutate after send returns
+            return None
+        got = comm.recv(source=0)
+        return got.copy()
+
+    results = smpi.run(2, fn)
+    assert np.array_equal(results[1], np.ones(4))
+
+
+def test_tag_selectivity():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send("tag5", dest=1, tag=5)
+            comm.send("tag9", dest=1, tag=9)
+            return None
+        first = comm.recv(source=0, tag=9)
+        second = comm.recv(source=0, tag=5)
+        return (first, second)
+
+    results = smpi.run(2, fn)
+    assert results[1] == ("tag9", "tag5")
+
+
+def test_non_overtaking_same_tag():
+    def fn(comm):
+        if comm.rank == 0:
+            for i in range(5):
+                comm.send(i, dest=1, tag=3)
+            return None
+        return [comm.recv(source=0, tag=3) for _ in range(5)]
+
+    results = smpi.run(2, fn)
+    assert results[1] == [0, 1, 2, 3, 4]
+
+
+def test_any_source_receives_all():
+    def fn(comm):
+        if comm.rank == 0:
+            got = sorted(comm.recv(source=smpi.ANY_SOURCE) for _ in range(comm.size - 1))
+            return got
+        comm.send(comm.rank * 10, dest=0)
+        return None
+
+    results = smpi.run(4, fn)
+    assert results[0] == [10, 20, 30]
+
+
+def test_any_tag_with_status():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send(b"hello", dest=1, tag=42)
+            return None
+        st = smpi.Status()
+        msg = comm.recv(source=0, tag=smpi.ANY_TAG, status=st)
+        return (msg, st.Get_source(), st.Get_tag(), st.Get_count())
+
+    results = smpi.run(2, fn)
+    assert results[1] == (b"hello", 0, 42, 5)
+
+
+def test_status_count_itemsize():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send(np.zeros(10, dtype=np.float64), dest=1)
+            return None
+        st = smpi.Status()
+        comm.recv(source=0, status=st)
+        return st.Get_count(8)
+
+    assert smpi.run(2, fn)[1] == 10
+
+
+def test_sendrecv_exchange():
+    def fn(comm):
+        partner = 1 - comm.rank
+        return comm.sendrecv(f"from{comm.rank}", dest=partner, source=partner)
+
+    results = smpi.run(2, fn)
+    assert results == ["from1", "from0"]
+
+
+def test_ssend_completes_when_matched():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.ssend("sync", dest=1)
+            return "sent"
+        return comm.recv(source=0)
+
+    assert smpi.run(2, fn) == ["sent", "sync"]
+
+
+def test_bsend_never_blocks():
+    """Buffered sends complete locally even with a late receiver."""
+
+    def fn(comm):
+        if comm.rank == 0:
+            big = np.zeros(100_000)  # way over the eager threshold
+            comm.bsend(big, dest=1)
+            return "done"
+        comm.barrier_hack = None
+        return float(comm.recv(source=0).sum())
+
+    results = smpi.run(2, fn)
+    assert results == ["done", 0.0]
+
+
+def test_invalid_dest_raises():
+    def fn(comm):
+        comm.send(1, dest=5)
+
+    with pytest.raises(InvalidRankError):
+        smpi.run(2, fn)
+
+
+def test_invalid_tag_raises():
+    def fn(comm):
+        comm.send(1, dest=0, tag=-3)
+
+    with pytest.raises(InvalidTagError):
+        smpi.run(2, fn)
+
+
+def test_recv_any_source_status_reports_comm_rank():
+    def fn(comm):
+        if comm.rank == 2:
+            st = smpi.Status()
+            comm.recv(source=smpi.ANY_SOURCE, status=st)
+            return st.Get_source()
+        if comm.rank == 1:
+            comm.send("x", dest=2)
+        return None
+
+    assert smpi.run(3, fn)[2] == 1
+
+
+def test_probe_then_recv():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send(np.arange(6), dest=1, tag=2)
+            return None
+        st = comm.probe(source=smpi.ANY_SOURCE, tag=smpi.ANY_TAG)
+        n = st.Get_count(8)
+        msg = comm.recv(source=st.Get_source(), tag=st.Get_tag())
+        return (n, len(msg))
+
+    assert smpi.run(2, fn)[1] == (6, 6)
+
+
+def test_iprobe_polling():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send("late", dest=1)
+            return None
+        st = smpi.Status()
+        while not comm.iprobe(source=0, status=st):
+            pass
+        return (comm.recv(source=0), st.nbytes)
+
+    assert smpi.run(2, fn)[1] == ("late", 4)
+
+
+def test_exited_peer_recv_deadlocks():
+    """Receiving from a rank that already returned is detected."""
+
+    def fn(comm):
+        if comm.rank == 1:
+            return comm.recv(source=0)
+        return None
+
+    with pytest.raises(smpi.DeadlockError):
+        smpi.run(2, fn)
+
+
+def test_self_send_recv():
+    def fn(comm):
+        comm.bsend("me", dest=comm.rank)
+        return comm.recv(source=comm.rank)
+
+    assert smpi.run(2, fn) == ["me", "me"]
+
+
+def test_user_exception_propagates():
+    def fn(comm):
+        if comm.rank == 1:
+            raise ValueError("boom in rank 1")
+        comm.recv(source=1)  # would block forever without abort
+
+    with pytest.raises(ValueError, match="boom in rank 1"):
+        smpi.run(2, fn)

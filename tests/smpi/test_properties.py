@@ -1,0 +1,122 @@
+"""Hypothesis property tests for the simulated MPI runtime."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import smpi
+from repro.smpi.collectives import log2ceil
+from repro.smpi.datatypes import payload_nbytes
+
+
+# Keep worlds small: every example spawns threads.
+_SMALL_P = st.integers(min_value=1, max_value=5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(p=_SMALL_P, values=st.lists(st.integers(-1000, 1000), min_size=5, max_size=5))
+def test_allreduce_sum_matches_python_sum(p, values):
+    def fn(comm):
+        return comm.allreduce(values[comm.rank], op=smpi.SUM)
+
+    expected = sum(values[:p])
+    assert smpi.run(p, fn) == [expected] * p
+
+
+@settings(max_examples=20, deadline=None)
+@given(p=_SMALL_P)
+def test_alltoall_is_transpose(p):
+    def fn(comm):
+        sent = [(comm.rank, j) for j in range(comm.size)]
+        return comm.alltoall(sent)
+
+    results = smpi.run(p, fn)
+    for j in range(p):
+        assert results[j] == [(i, j) for i in range(p)]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    p=st.integers(min_value=2, max_value=5),
+    data=st.lists(st.integers(0, 100), min_size=5, max_size=5),
+)
+def test_scan_prefix_property(p, data):
+    def fn(comm):
+        return comm.scan(data[comm.rank], op=smpi.SUM)
+
+    results = smpi.run(p, fn)
+    for r in range(p):
+        assert results[r] == sum(data[: r + 1])
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    p=st.integers(min_value=2, max_value=4),
+    messages=st.lists(st.integers(0, 255), min_size=1, max_size=8),
+)
+def test_fifo_order_preserved(p, messages):
+    """Any stream of same-tag messages arrives in send order."""
+
+    def fn(comm):
+        if comm.rank == 0:
+            for m in messages:
+                comm.send(m, dest=1, tag=0)
+            return None
+        if comm.rank == 1:
+            return [comm.recv(source=0, tag=0) for _ in messages]
+        return None
+
+    assert smpi.run(p, fn)[1] == messages
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=4096))
+def test_log2ceil_bounds(p):
+    k = log2ceil(p)
+    assert 2**k >= p
+    assert k == 0 or 2 ** (k - 1) < p
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.one_of(
+        st.integers(-(2**40), 2**40),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=100),
+        st.binary(max_size=100),
+        st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=20),
+        st.dictionaries(st.text(max_size=5), st.integers(), max_size=5),
+    )
+)
+def test_payload_nbytes_nonnegative(obj):
+    assert payload_nbytes(obj) >= 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=200),
+)
+def test_payload_nbytes_array_exact(n):
+    assert payload_nbytes(np.zeros(n)) == 8 * n
+
+
+@settings(max_examples=15, deadline=None)
+@given(p=st.integers(min_value=2, max_value=5), seed=st.integers(0, 2**16))
+def test_clock_never_decreases_across_ops(p, seed):
+    """Random mixtures of compute and collectives keep clocks monotone."""
+    rng = np.random.default_rng(seed)
+    schedule = rng.integers(0, 3, size=6).tolist()
+
+    def fn(comm):
+        times = [comm.wtime()]
+        for op in schedule:
+            if op == 0:
+                comm.compute(seconds=0.001)
+            elif op == 1:
+                comm.allreduce(comm.rank, op=smpi.SUM)
+            else:
+                comm.barrier()
+            times.append(comm.wtime())
+        return times
+
+    for times in smpi.run(p, fn):
+        assert all(a <= b + 1e-15 for a, b in zip(times, times[1:]))

@@ -1,0 +1,62 @@
+"""Tests for MPI_Testall."""
+
+import pytest
+
+from repro import smpi
+from repro.errors import SMPIError
+
+
+def test_testall_completes_when_all_done():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send("a", dest=1, tag=1)
+            comm.send("b", dest=1, tag=2)
+            return None
+        reqs = [comm.irecv(source=0, tag=1), comm.irecv(source=0, tag=2)]
+        while True:
+            flag, payloads = smpi.testall(reqs)
+            if flag:
+                return payloads
+
+    assert smpi.run(2, fn)[1] == ["a", "b"]
+
+
+def test_testall_false_when_pending():
+    def fn(comm):
+        if comm.rank == 1:
+            reqs = [comm.irecv(source=0, tag=9)]
+            flag, payloads = smpi.testall(reqs)
+            comm.send("go", dest=0)  # release the sender
+            got = reqs[0].wait()
+            return (flag, payloads, got)
+        comm.recv(source=1)
+        comm.send("late", dest=1, tag=9)
+        return None
+
+    flag, payloads, got = smpi.run(2, fn)[1]
+    assert flag is False and payloads is None
+    assert got == "late"
+
+
+def test_testall_statuses():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send(b"xyz", dest=1, tag=4)
+            return None
+        reqs = [comm.irecv(source=0, tag=4)]
+        while not smpi.testall(reqs)[0]:
+            pass
+        statuses = [smpi.Status()]
+        flag, _ = smpi.testall(reqs, statuses)
+        return (flag, statuses[0].nbytes)
+
+    assert smpi.run(2, fn)[1] == (True, 3)
+
+
+def test_testall_status_length_mismatch():
+    def fn(comm):
+        reqs = [comm.isend(1, dest=comm.rank)]
+        smpi.testall(reqs, [smpi.Status(), smpi.Status()])
+
+    with pytest.raises(SMPIError):
+        smpi.run(1, fn)

@@ -1,0 +1,66 @@
+"""Tests for the trace timeline renderer."""
+
+import pytest
+
+from repro import smpi
+from repro.errors import ValidationError
+from repro.smpi.timeline import render_timeline
+
+
+def test_timeline_shows_compute_and_collective():
+    def fn(comm):
+        comm.compute(seconds=1.0)
+        comm.allreduce(comm.rank, op=smpi.SUM)
+        comm.compute(seconds=0.5)
+
+    out = smpi.launch(3, fn)
+    text = render_timeline(out.tracer, width=40)
+    assert "rank   0" in text and "rank   2" in text
+    assert "#" in text  # compute
+    assert "=" in text  # collective
+    assert "compute" in text  # legend
+
+
+def test_timeline_p2p_glyph():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.ssend("x", dest=1)
+        else:
+            comm.compute(seconds=0.2)
+            comm.recv(source=0)
+
+    out = smpi.launch(2, fn)
+    text = render_timeline(out.tracer, width=30)
+    assert "~" in text
+
+
+def test_timeline_selected_ranks():
+    def fn(comm):
+        comm.barrier()
+
+    out = smpi.launch(4, fn)
+    text = render_timeline(out.tracer, ranks=[1, 3], width=20)
+    assert "rank   1" in text and "rank   3" in text
+    assert "rank   0" not in text
+
+
+def test_timeline_empty_trace_rejected():
+    def fn(comm):
+        comm.barrier()
+
+    out = smpi.launch(2, fn, trace=False)
+    with pytest.raises(ValidationError):
+        render_timeline(out.tracer)
+
+
+def test_timeline_proportions():
+    """A rank computing 90% of the time shows mostly '#'."""
+
+    def fn(comm):
+        comm.compute(seconds=9.0)
+        comm.barrier()
+
+    out = smpi.launch(2, fn)
+    text = render_timeline(out.tracer, width=50)
+    lane = text.splitlines()[1]
+    assert lane.count("#") > 40

@@ -1,0 +1,158 @@
+"""Tests for Cartesian topologies and reduce_scatter."""
+
+import math
+
+import pytest
+
+from repro import smpi
+from repro.errors import SMPIError, ValidationError
+from repro.smpi import PROC_NULL, compute_dims
+
+
+def test_compute_dims_balanced():
+    assert compute_dims(12, 2) == [4, 3]
+    assert compute_dims(8, 3) == [2, 2, 2]
+    assert compute_dims(7, 2) == [7, 1]
+    assert compute_dims(1, 2) == [1, 1]
+
+
+def test_compute_dims_product_invariant():
+    for n in range(1, 40):
+        for d in (1, 2, 3):
+            dims = compute_dims(n, d)
+            assert math.prod(dims) == n
+            assert dims == sorted(dims, reverse=True)
+
+
+def test_compute_dims_validation():
+    with pytest.raises(ValidationError):
+        compute_dims(0, 2)
+    with pytest.raises(ValidationError):
+        compute_dims(4, 0)
+
+
+def test_cart_coords_roundtrip():
+    def fn(comm):
+        cart = comm.create_cart(dims=(2, 3), periods=(True, False))
+        assert cart.Get_cart_rank(cart.coords) == cart.rank
+        return cart.coords
+
+    results = smpi.run(6, fn)
+    assert results == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+
+def test_cart_shift_periodic_ring():
+    def fn(comm):
+        cart = comm.create_cart(dims=(comm.size,), periods=(True,))
+        src, dst = cart.Shift(0, 1)
+        return (src, dst)
+
+    results = smpi.run(4, fn)
+    assert results[0] == (3, 1)
+    assert results[3] == (2, 0)
+
+
+def test_cart_shift_nonperiodic_boundary():
+    def fn(comm):
+        cart = comm.create_cart(dims=(comm.size,), periods=(False,))
+        return cart.Shift(0, 1)
+
+    results = smpi.run(3, fn)
+    assert results[0] == (PROC_NULL, 1)
+    assert results[2] == (1, PROC_NULL)
+
+
+def test_cart_halo_exchange():
+    """The canonical use: exchange with both grid neighbours."""
+
+    def fn(comm):
+        cart = comm.create_cart(dims=(comm.size,), periods=(True,))
+        left, right = cart.Shift(0, 1)
+        got_from_left = cart.sendrecv(cart.rank, dest=right, source=left)
+        return got_from_left
+
+    assert smpi.run(5, fn) == [4, 0, 1, 2, 3]
+
+
+def test_cart_2d_shift_directions():
+    def fn(comm):
+        cart = comm.create_cart(dims=(2, 2), periods=(True, True))
+        row_src, row_dst = cart.Shift(0, 1)
+        col_src, col_dst = cart.Shift(1, 1)
+        return (cart.coords, row_dst, col_dst)
+
+    results = smpi.run(4, fn)
+    coords, row_dst, col_dst = results[0]  # rank 0 at (0, 0)
+    assert coords == (0, 0)
+    assert row_dst == 2  # (1, 0)
+    assert col_dst == 1  # (0, 1)
+
+
+def test_cart_default_dims():
+    def fn(comm):
+        cart = comm.create_cart(ndims=2)
+        return cart.dims
+
+    assert smpi.run(6, fn) == [(3, 2)] * 6
+
+
+def test_cart_bad_grid():
+    def fn(comm):
+        comm.create_cart(dims=(5,))
+
+    with pytest.raises(SMPIError):
+        smpi.run(4, fn)
+
+
+def test_cart_bad_direction_and_coords():
+    def fn(comm):
+        cart = comm.create_cart(dims=(comm.size,))
+        try:
+            cart.Shift(1)
+        except ValidationError:
+            pass
+        else:
+            raise AssertionError("expected ValidationError")
+        try:
+            cart.Get_coords(99)
+        except ValidationError:
+            return "ok"
+        raise AssertionError("expected ValidationError")
+
+    assert smpi.run(2, fn) == ["ok", "ok"]
+
+
+def test_cart_is_full_comm():
+    """CartComm supports the whole communicator API."""
+
+    def fn(comm):
+        cart = comm.create_cart(dims=(comm.size,))
+        return cart.allreduce(cart.rank, op=smpi.SUM)
+
+    assert smpi.run(4, fn) == [6] * 4
+
+
+def test_reduce_scatter_block():
+    def fn(comm):
+        contribution = [comm.rank * 10 + j for j in range(comm.size)]
+        return comm.reduce_scatter(contribution, op=smpi.SUM)
+
+    results = smpi.run(3, fn)
+    # result[r] = sum over i of (10 i + r)
+    assert results == [30 + 0 * 3, 30 + 1 * 3, 30 + 2 * 3]
+
+
+def test_reduce_scatter_wrong_length():
+    def fn(comm):
+        comm.reduce_scatter([1], op=smpi.SUM)
+
+    with pytest.raises(SMPIError):
+        smpi.run(3, fn)
+
+
+def test_sendrecv_replace():
+    def fn(comm):
+        partner = 1 - comm.rank
+        return comm.sendrecv_replace(f"from{comm.rank}", dest=partner, source=partner)
+
+    assert smpi.run(2, fn) == ["from1", "from0"]

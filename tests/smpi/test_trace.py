@@ -1,0 +1,94 @@
+"""Tracer: primitive recording, time breakdown, volumes."""
+
+import numpy as np
+import pytest
+
+from repro import smpi
+
+
+def test_primitives_recorded():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send(1, dest=1)
+            req = comm.isend(2, dest=1, tag=1)
+            req.wait()
+        else:
+            comm.recv(source=0)
+            comm.recv(source=0, tag=1)
+        comm.barrier()
+        comm.allreduce(1, op=smpi.SUM)
+
+    out = smpi.launch(2, fn)
+    prims = out.tracer.primitives_used()
+    assert {"MPI_Send", "MPI_Isend", "MPI_Recv", "MPI_Barrier", "MPI_Allreduce"} <= prims
+
+
+def test_per_rank_primitives():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send("x", dest=1)
+        else:
+            comm.recv(source=0)
+
+    out = smpi.launch(2, fn)
+    assert "MPI_Send" in out.tracer.primitives_used(rank=0)
+    assert "MPI_Send" not in out.tracer.primitives_used(rank=1)
+    assert "MPI_Recv" in out.tracer.primitives_used(rank=1)
+
+
+def test_compute_vs_comm_breakdown():
+    def fn(comm):
+        comm.compute(seconds=2.0)
+        comm.allreduce(np.zeros(1000), op=smpi.SUM)
+
+    out = smpi.launch(2, fn)
+    s = out.tracer.summary(rank=0)
+    assert s.compute_time == pytest.approx(2.0)
+    assert s.collective_time > 0
+    assert 0 < s.comm_fraction < 0.5
+
+
+def test_bytes_sent_accounting():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send(np.zeros(100), dest=1)  # 800 bytes
+        else:
+            comm.recv(source=0)
+
+    out = smpi.launch(2, fn)
+    s = out.tracer.summary(rank=0)
+    assert s.bytes_sent == 800
+    assert s.messages_sent == 1
+
+
+def test_trace_disabled():
+    def fn(comm):
+        comm.barrier()
+
+    out = smpi.launch(2, fn, trace=False)
+    assert out.tracer.events == []
+
+
+def test_summary_primitive_counts():
+    def fn(comm):
+        for _ in range(3):
+            comm.barrier()
+
+    out = smpi.launch(2, fn)
+    s = out.tracer.summary()
+    assert s.primitive_counts["MPI_Barrier"] == 6  # 3 calls x 2 ranks
+
+
+def test_events_have_monotone_times():
+    def fn(comm):
+        comm.compute(seconds=1.0)
+        comm.allreduce(1, op=smpi.SUM)
+        comm.compute(seconds=0.5)
+
+    out = smpi.launch(2, fn)
+    for rank in range(2):
+        events = sorted(out.tracer.events_for(rank), key=lambda e: e.t_start)
+        for a, b in zip(events, events[1:]):
+            assert a.t_end <= b.t_start + 1e-12
+        for e in events:
+            assert e.duration >= 0

@@ -1,0 +1,89 @@
+"""Tests for Rect and QueryStats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.spatial import Rect, QueryStats
+
+
+def test_rect_basic():
+    r = Rect([0, 0], [2, 3])
+    assert r.dims == 2
+    assert r.area == 6.0
+    assert r.margin == 5.0
+
+
+def test_rect_invalid():
+    with pytest.raises(ValidationError):
+        Rect([1, 0], [0, 1])
+    with pytest.raises(ValidationError):
+        Rect([[0]], [[1]])
+
+
+def test_contains_point():
+    r = Rect([0, 0], [1, 1])
+    assert r.contains_point([0.5, 0.5])
+    assert r.contains_point([0, 0])  # inclusive
+    assert r.contains_point([1, 1])
+    assert not r.contains_point([1.01, 0.5])
+
+
+def test_contains_points_vectorized():
+    r = Rect([0, 0], [1, 1])
+    pts = np.array([[0.5, 0.5], [2, 2], [1, 0]])
+    assert r.contains_points(pts).tolist() == [True, False, True]
+
+
+def test_intersects():
+    a = Rect([0, 0], [1, 1])
+    assert a.intersects(Rect([0.5, 0.5], [2, 2]))
+    assert a.intersects(Rect([1, 1], [2, 2]))  # touching counts
+    assert not a.intersects(Rect([1.1, 0], [2, 1]))
+
+
+def test_union_enlargement():
+    a = Rect([0, 0], [1, 1])
+    b = Rect([2, 0], [3, 1])
+    u = a.union(b)
+    assert u == Rect([0, 0], [3, 1])
+    assert a.enlargement(b) == pytest.approx(3.0 - 1.0)
+
+
+def test_contains_rect():
+    outer = Rect([0, 0], [10, 10])
+    assert outer.contains_rect(Rect([1, 1], [2, 2]))
+    assert not Rect([1, 1], [2, 2]).contains_rect(outer)
+
+
+def test_from_point_degenerate():
+    r = Rect.from_point([3, 4])
+    assert r.area == 0
+    assert r.contains_point([3, 4])
+
+
+def test_from_points():
+    r = Rect.from_points([[0, 5], [2, 1], [1, 3]])
+    assert r == Rect([0, 1], [2, 5])
+    with pytest.raises(ValidationError):
+        Rect.from_points(np.empty((0, 2)))
+
+
+def test_from_intervals():
+    r = Rect.from_intervals([[0, 1], [5, 9]])
+    assert r == Rect([0, 5], [1, 9])
+
+
+def test_rect_hash_eq():
+    assert Rect([0, 0], [1, 1]) == Rect([0, 0], [1, 1])
+    assert hash(Rect([0, 0], [1, 1])) == hash(Rect([0, 0], [1, 1]))
+    assert Rect([0, 0], [1, 1]) != Rect([0, 0], [1, 2])
+
+
+def test_query_stats_add_reset():
+    a = QueryStats(1, 2, 3)
+    b = QueryStats(10, 20, 30)
+    a.add(b)
+    assert (a.nodes_visited, a.entries_checked, a.results) == (11, 22, 33)
+    a.reset()
+    assert a.nodes_visited == 0

@@ -1,0 +1,142 @@
+"""Correctness and structure tests for all spatial indexes."""
+
+import numpy as np
+import pytest
+
+from repro.data import uniform_points
+from repro.errors import ValidationError
+from repro.spatial import BruteForceIndex, KDTree, QuadTree, RTree, Rect, QueryStats
+
+
+def brute_answer(points, rect):
+    return np.flatnonzero(rect.contains_points(points)).astype(np.int64)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return uniform_points(800, 2, seed=42)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    rng = np.random.default_rng(7)
+    out = []
+    for _ in range(25):
+        lo = rng.uniform(0, 0.8, size=2)
+        out.append(Rect(lo, lo + rng.uniform(0.05, 0.4, size=2)))
+    return out
+
+
+def test_bruteforce_matches_reference(points, queries):
+    idx = BruteForceIndex(points)
+    for q in queries:
+        assert np.array_equal(idx.query_range(q), brute_answer(points, q))
+
+
+def test_rtree_bulk_load_matches_brute(points, queries):
+    tree = RTree.bulk_load(points, max_entries=16)
+    tree.validate()
+    for q in queries:
+        assert np.array_equal(tree.query_range(q), brute_answer(points, q))
+
+
+def test_rtree_dynamic_insert_matches_brute(points, queries):
+    tree = RTree(dims=2, max_entries=8)
+    for i, p in enumerate(points):
+        tree.insert(p, i)
+    tree.validate()
+    assert len(tree) == len(points)
+    for q in queries:
+        assert np.array_equal(tree.query_range(q), brute_answer(points, q))
+
+
+def test_kdtree_matches_brute(points, queries):
+    tree = KDTree(points, leaf_size=8)
+    for q in queries:
+        assert np.array_equal(tree.query_range(q), brute_answer(points, q))
+
+
+def test_quadtree_matches_brute(points, queries):
+    tree = QuadTree.from_points(points, capacity=8)
+    assert len(tree) == len(points)
+    for q in queries:
+        assert np.array_equal(tree.query_range(q), brute_answer(points, q))
+
+
+def test_rtree_prunes_work(points):
+    """The whole point of the index: far less work than a full scan."""
+    tree = RTree.bulk_load(points, max_entries=16)
+    brute = BruteForceIndex(points)
+    narrow = Rect([0.1, 0.1], [0.15, 0.15])
+    ts, bs = QueryStats(), QueryStats()
+    tree.query_range(narrow, ts)
+    brute.query_range(narrow, bs)
+    assert ts.entries_checked < bs.entries_checked / 4
+    assert ts.nodes_visited > bs.nodes_visited  # but more pointer chasing
+
+
+def test_rtree_height_grows_logarithmically():
+    pts = uniform_points(2000, 2, seed=1)
+    tree = RTree.bulk_load(pts, max_entries=16)
+    assert 2 <= tree.height <= 4
+
+
+def test_rtree_insert_splits_root():
+    tree = RTree(dims=2, max_entries=4, min_entries=2)
+    pts = uniform_points(50, 2, seed=3)
+    for i, p in enumerate(pts):
+        tree.insert(p, i)
+    assert tree.height >= 2
+    tree.validate()
+
+
+def test_rtree_empty_query():
+    tree = RTree(dims=2)
+    assert tree.query_range(Rect([0, 0], [1, 1])).size == 0
+
+
+def test_rtree_wrong_dims_raises():
+    tree = RTree.bulk_load(uniform_points(10, 2, seed=0))
+    with pytest.raises(ValidationError):
+        tree.query_range(Rect([0], [1]))
+    with pytest.raises(ValidationError):
+        tree.insert([1.0, 2.0, 3.0], 99)
+
+
+def test_rtree_high_dimensional():
+    pts = uniform_points(300, 5, seed=9)
+    tree = RTree.bulk_load(pts, max_entries=8)
+    tree.validate()
+    q = Rect([0.2] * 5, [0.8] * 5)
+    assert np.array_equal(tree.query_range(q), brute_answer(pts, q))
+
+
+def test_kdtree_tiny_dataset():
+    pts = np.array([[0.5, 0.5]])
+    tree = KDTree(pts)
+    assert tree.query_range(Rect([0, 0], [1, 1])).tolist() == [0]
+    assert tree.query_range(Rect([0.6, 0], [1, 1])).size == 0
+
+
+def test_quadtree_duplicate_points():
+    pts = np.zeros((40, 2)) + 0.5
+    tree = QuadTree(Rect([0, 0], [1, 1]), capacity=4, max_depth=6)
+    for i, p in enumerate(pts):
+        tree.insert(p, i)
+    got = tree.query_range(Rect([0.4, 0.4], [0.6, 0.6]))
+    assert got.tolist() == list(range(40))
+
+
+def test_quadtree_out_of_bounds_rejected():
+    tree = QuadTree(Rect([0, 0], [1, 1]))
+    with pytest.raises(ValidationError):
+        tree.insert([2.0, 0.5], 0)
+
+
+def test_query_stats_accumulate_across_queries(points, queries):
+    tree = RTree.bulk_load(points)
+    stats = QueryStats()
+    for q in queries[:5]:
+        tree.query_range(q, stats)
+    assert stats.nodes_visited >= 5
+    assert stats.results == sum(len(brute_answer(points, q)) for q in queries[:5])

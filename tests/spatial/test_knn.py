@@ -1,0 +1,89 @@
+"""Tests for k-nearest-neighbour queries (brute force and R-tree)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import uniform_points
+from repro.errors import ValidationError
+from repro.spatial import BruteForceIndex, QueryStats, RTree
+
+
+def brute_knn_reference(points, query, k):
+    d2 = ((points - query) ** 2).sum(axis=1)
+    order = np.lexsort((np.arange(len(points)), d2))
+    return order[:k]
+
+
+def test_brute_knn_simple():
+    pts = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 5.0]])
+    idx = BruteForceIndex(pts)
+    assert idx.query_knn([0.1, 0.0], 2).tolist() == [0, 1]
+
+
+def test_brute_knn_k_clamped():
+    pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+    assert BruteForceIndex(pts).query_knn([0, 0], 10).tolist() == [0, 1]
+
+
+def test_knn_validation():
+    idx = BruteForceIndex(np.zeros((3, 2)))
+    with pytest.raises(ValidationError):
+        idx.query_knn([0, 0], 0)
+    with pytest.raises(ValidationError):
+        idx.query_knn([0, 0, 0], 1)
+    tree = RTree.bulk_load(np.random.default_rng(0).random((10, 2)))
+    with pytest.raises(ValidationError):
+        tree.query_knn([0, 0], -1)
+
+
+def test_rtree_knn_matches_brute():
+    pts = uniform_points(500, 2, seed=11)
+    tree = RTree.bulk_load(pts, max_entries=8)
+    brute = BruteForceIndex(pts)
+    rng = np.random.default_rng(3)
+    for _ in range(20):
+        q = rng.random(2)
+        k = int(rng.integers(1, 20))
+        assert np.array_equal(tree.query_knn(q, k), brute.query_knn(q, k))
+
+
+def test_rtree_knn_prunes():
+    pts = uniform_points(2000, 2, seed=5)
+    tree = RTree.bulk_load(pts, max_entries=16)
+    stats = QueryStats()
+    tree.query_knn([0.5, 0.5], 5, stats)
+    assert stats.entries_checked < len(pts) / 2
+
+
+def test_rtree_knn_empty_tree():
+    tree = RTree(dims=2)
+    assert tree.query_knn([0, 0], 3).size == 0
+
+
+def test_knn_distances_ascending():
+    pts = uniform_points(300, 3, seed=7)
+    tree = RTree.bulk_load(pts)
+    q = np.array([0.5, 0.5, 0.5])
+    idx = tree.query_knn(q, 10)
+    dists = ((pts[idx] - q) ** 2).sum(axis=1)
+    assert np.all(np.diff(dists) >= -1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    n=st.integers(min_value=1, max_value=150),
+    k=st.integers(min_value=1, max_value=20),
+)
+def test_rtree_knn_property(seed, n, k):
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(-5, 5, size=(n, 2))
+    q = rng.uniform(-6, 6, size=2)
+    tree = RTree.bulk_load(pts, max_entries=5)
+    got = tree.query_knn(q, k)
+    expected = brute_knn_reference(pts, q, min(k, n))
+    # Same distance multiset (indices may differ only on exact ties).
+    d_got = np.sort(((pts[got] - q) ** 2).sum(axis=1))
+    d_exp = np.sort(((pts[expected] - q) ** 2).sum(axis=1))
+    assert np.allclose(d_got, d_exp)

@@ -1,0 +1,87 @@
+"""Hypothesis property tests: every index agrees with brute force."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.spatial import BruteForceIndex, KDTree, QuadTree, RTree, Rect
+
+
+@st.composite
+def points_and_query(draw, dims=2):
+    n = draw(st.integers(min_value=1, max_value=120))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(-10, 10, size=(n, dims))
+    lo = draw(
+        st.lists(
+            st.floats(min_value=-12, max_value=12, allow_nan=False),
+            min_size=dims,
+            max_size=dims,
+        )
+    )
+    width = draw(
+        st.lists(
+            st.floats(min_value=0, max_value=15, allow_nan=False),
+            min_size=dims,
+            max_size=dims,
+        )
+    )
+    rect = Rect(np.array(lo), np.array(lo) + np.array(width))
+    return pts, rect
+
+
+def _expected(pts, rect):
+    return np.flatnonzero(rect.contains_points(pts)).astype(np.int64)
+
+
+@settings(max_examples=40, deadline=None)
+@given(points_and_query())
+def test_rtree_bulk_equals_brute(data):
+    pts, rect = data
+    tree = RTree.bulk_load(pts, max_entries=6)
+    tree.validate()
+    assert np.array_equal(tree.query_range(rect), _expected(pts, rect))
+
+
+@settings(max_examples=30, deadline=None)
+@given(points_and_query())
+def test_rtree_dynamic_equals_brute(data):
+    pts, rect = data
+    tree = RTree(dims=2, max_entries=5, min_entries=2)
+    for i, p in enumerate(pts):
+        tree.insert(p, i)
+    tree.validate()
+    assert np.array_equal(tree.query_range(rect), _expected(pts, rect))
+
+
+@settings(max_examples=40, deadline=None)
+@given(points_and_query())
+def test_kdtree_equals_brute(data):
+    pts, rect = data
+    tree = KDTree(pts, leaf_size=4)
+    assert np.array_equal(tree.query_range(rect), _expected(pts, rect))
+
+
+@settings(max_examples=40, deadline=None)
+@given(points_and_query())
+def test_quadtree_equals_brute(data):
+    pts, rect = data
+    tree = QuadTree.from_points(pts, capacity=4)
+    assert np.array_equal(tree.query_range(rect), _expected(pts, rect))
+
+
+@settings(max_examples=40, deadline=None)
+@given(points_and_query())
+def test_bruteforce_count_matches_query(data):
+    pts, rect = data
+    idx = BruteForceIndex(pts)
+    assert idx.query_count(rect) == len(idx.query_range(rect))
+
+
+@settings(max_examples=30, deadline=None)
+@given(points_and_query(dims=3))
+def test_rtree_3d(data):
+    pts, rect = data
+    tree = RTree.bulk_load(pts, max_entries=6)
+    tree.validate()
+    assert np.array_equal(tree.query_range(rect), _expected(pts, rect))

@@ -1,0 +1,63 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for eid in ("T1", "T4", "F1", "E8"):
+        assert eid in out
+
+
+def test_run_single(capsys):
+    assert main(["run", "T3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table III" in out
+    assert "[PASS] T3" in out
+
+
+def test_run_multiple(capsys):
+    assert main(["run", "T1", "T3"]) == 0
+    out = capsys.readouterr().out
+    assert "[PASS] T1" in out and "[PASS] T3" in out
+
+
+def test_run_unknown_id():
+    with pytest.raises(Exception):
+        main(["run", "T99"])
+
+
+def test_modules_catalog(capsys):
+    assert main(["modules"]) == 0
+    out = capsys.readouterr().out
+    assert "Module 1: MPI Communication" in out
+    assert "Module 5: k-means Clustering" in out
+    assert "Module 6: Latency Hiding (extension)" in out
+    assert "Module 7: Distributed Top-k Queries (extension)" in out
+
+
+def test_quiz(capsys):
+    assert main(["quiz"]) == 0
+    out = capsys.readouterr().out
+    assert "Program 2 / Compute Node 2" in out
+    assert "Answer: (2)" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_run_json_output(capsys):
+    import json
+
+    assert main(["run", "T3", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["failed"] == 0
+    record = payload["experiments"][0]
+    assert record["id"] == "T3"
+    assert record["passed"] is True
+    assert all(record["checks"].values())

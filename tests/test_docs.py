@@ -1,0 +1,65 @@
+"""Doc-rot guards: the handouts must reference real, importable APIs."""
+
+import importlib
+import pathlib
+import re
+
+import pytest
+
+DOCS = sorted((pathlib.Path(__file__).parent.parent / "docs").glob("*.md"))
+_DOTTED = re.compile(r"\brepro(?:\.\w+)+")
+
+
+def _resolvable(dotted: str) -> bool:
+    """Can ``dotted`` be resolved as module[.attr...]?"""
+    parts = dotted.split(".")
+    for split in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:split])
+        try:
+            obj = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        for attr in parts[split:]:
+            if not hasattr(obj, attr):
+                return False
+            obj = getattr(obj, attr)
+        return True
+    return False
+
+
+def test_docs_exist():
+    assert len(DOCS) >= 9
+    names = {p.name for p in DOCS}
+    assert "index.md" in names
+    for i in range(1, 8):
+        assert f"module{i}.md" in names
+
+
+@pytest.mark.parametrize("path", DOCS, ids=lambda p: p.name)
+def test_every_dotted_reference_resolves(path):
+    text = path.read_text()
+    refs = sorted(set(_DOTTED.findall(text)))
+    unresolved = [ref for ref in refs if not _resolvable(ref)]
+    assert not unresolved, f"{path.name} references missing APIs: {unresolved}"
+
+
+def test_handouts_name_their_experiments():
+    """Each algorithm handout points at its regenerating experiment."""
+    expectations = {
+        "module2.md": "E2",
+        "module3.md": "E3",
+        "module4.md": "E4",
+        "module5.md": "E6",
+        "module6.md": "E9",
+        "module7.md": "E10",
+    }
+    for name, eid in expectations.items():
+        text = (DOCS[0].parent / name).read_text()
+        assert eid in text, f"{name} should reference experiment {eid}"
+
+
+def test_index_links_every_handout():
+    index = (DOCS[0].parent / "index.md").read_text()
+    for path in DOCS:
+        if path.name != "index.md":
+            assert path.name in index

@@ -1,0 +1,50 @@
+"""Smoke tests: the faster example scripts must run end to end.
+
+(The two slowest — ``course_walkthrough`` and ``asteroid_range_queries``
+— are exercised manually / by the benchmarks and excluded here to keep
+the suite quick.)
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "ring exchange" in out
+    assert "DeadlockError caught, as expected" in out
+    assert "virtual makespan" in out
+
+
+def test_slurm_batch(capsys):
+    out = run_example("slurm_batch.py", capsys)
+    assert "terrible twins" in out
+    assert "COMPLETED" in out
+    assert "utilization" in out
+
+
+def test_kmeans_clustering(capsys):
+    out = run_example("kmeans_clustering.py", capsys)
+    assert "matches reference: True" in out
+    assert "+" in out  # the ascii scatter border
+
+
+def test_evaluation_report(capsys):
+    out = run_example("evaluation_report.py", capsys)
+    assert "Table IV" in out
+    assert "Program 2 / Compute Node 2" in out
+
+
+def test_pitfalls_gallery(capsys):
+    out = run_example("pitfalls_gallery.py", capsys)
+    assert "10 pitfalls, all caught." in out
+    assert "NOT DIAGNOSED" not in out

@@ -1,0 +1,99 @@
+"""Cross-cutting validation coverage: constructor and argument guards
+that protect users from silent misconfiguration."""
+
+import pytest
+
+from repro import smpi
+from repro.cluster import ClusterSpec, NodeSpec, Placement
+from repro.errors import SchedulerError, SMPIError, ValidationError
+from repro.slurm import JobSpec, Scheduler, WorkloadProfile
+from repro.smpi.runtime import World
+
+
+def test_core_bandwidth_cannot_exceed_node_bandwidth():
+    with pytest.raises(ValidationError):
+        NodeSpec(mem_bandwidth=1e10, core_mem_bandwidth=2e10)
+
+
+def test_core_bandwidth_default_quarter():
+    node = NodeSpec(mem_bandwidth=4e10)
+    assert node.core_mem_bandwidth == pytest.approx(1e10)
+
+
+def test_world_requires_positive_nprocs():
+    with pytest.raises(SMPIError):
+        World(0)
+
+
+def test_world_placement_size_mismatch():
+    spec = ClusterSpec(num_nodes=1, node=NodeSpec(cores=8))
+    place = Placement.block(spec, 4)
+    with pytest.raises(SMPIError):
+        World(6, cluster=spec, placement=place)
+
+
+def test_world_infers_cluster_from_placement():
+    spec = ClusterSpec(num_nodes=2, node=NodeSpec(cores=4))
+    place = Placement.spread(spec, 4)
+
+    def fn(comm):
+        return comm.Get_processor_name()
+
+    names = smpi.run(4, fn, placement=place)
+    assert names == ["node000", "node001", "node000", "node001"]
+
+
+def test_run_and_launch_agree():
+    def fn(comm):
+        return comm.allreduce(comm.rank)
+
+    assert smpi.run(3, fn) == smpi.launch(3, fn).results
+
+
+def test_scheduler_rejects_submission_in_the_past():
+    sched = Scheduler(num_nodes=1)
+    sched.submit(JobSpec("a", WorkloadProfile(1.0)), at=5.0)
+    sched.run()
+    assert sched.now >= 5.0
+    with pytest.raises(SchedulerError):
+        sched.submit(JobSpec("b", WorkloadProfile(1.0)), at=1.0)
+
+
+def test_scheduler_cancel_completed_is_noop():
+    sched = Scheduler(num_nodes=1)
+    job = sched.submit(JobSpec("a", WorkloadProfile(1.0)))
+    sched.run()
+    before = sched.record(job).state
+    sched.cancel(job)
+    assert sched.record(job).state == before
+
+
+def test_scheduler_accepts_jobs_while_draining():
+    sched = Scheduler(num_nodes=1, cores_per_node=2)
+    first = sched.submit(JobSpec("a", WorkloadProfile(10.0), ntasks=2))
+    sched.step()  # a starts
+    late = sched.submit(JobSpec("b", WorkloadProfile(1.0), ntasks=2))
+    sched.run()
+    assert sched.record(late).start_time == pytest.approx(10.0)
+    assert sched.record(first).state.finished
+
+
+def test_negative_compute_work_rejected():
+    def fn(comm):
+        comm.compute(flops=-5)
+
+    with pytest.raises(ValidationError):
+        smpi.run(1, fn)
+
+
+def test_predicted_misses_validates_tile():
+    from repro.modules.module2_distance import predicted_misses
+
+    with pytest.raises(ValidationError):
+        predicted_misses(10, 10, 4, tile=0)
+
+
+def test_quiz_points_grid_is_positive():
+    from repro.edu.quiz import QUIZZES
+
+    assert all(q.points > 0 for q in QUIZZES)

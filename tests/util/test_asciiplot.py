@@ -1,0 +1,48 @@
+"""Tests for the ASCII plot helpers."""
+
+import pytest
+
+from repro.util import ascii_bars, ascii_series, grouped_bars
+
+
+def test_ascii_bars_basic():
+    out = ascii_bars(["a", "b"], [1.0, 2.0], width=10)
+    lines = out.splitlines()
+    assert len(lines) == 2
+    assert lines[1].count("#") == 10  # max value fills the width
+    assert lines[0].count("#") == 5
+
+
+def test_ascii_bars_fixed_scale():
+    out = ascii_bars(["a"], [1.0], width=10, vmax=2.0)
+    assert out.count("#") == 5
+
+
+def test_ascii_bars_mismatched_raises():
+    with pytest.raises(ValueError):
+        ascii_bars(["a"], [1.0, 2.0])
+
+
+def test_ascii_bars_empty():
+    assert "empty" in ascii_bars([], [])
+
+
+def test_grouped_bars():
+    out = grouped_bars(
+        ["s1", "s2"], {"pre": [50, 100], "post": [100, 100]}, width=10, vmax=100
+    )
+    assert "pre" in out and "post" in out
+    assert out.splitlines()[0].count("#") == 5
+
+
+def test_ascii_series_shape():
+    out = ascii_series([1, 2, 3, 4], {"lin": [1, 2, 3, 4]}, height=8, width=20)
+    assert "lin" in out
+    assert "└" in out
+
+
+def test_ascii_series_multiple():
+    out = ascii_series(
+        [1, 2, 4], {"a": [1, 2, 4], "b": [1, 1.5, 2]}, height=6, width=24
+    )
+    assert "o = a" in out and "x = b" in out

@@ -1,0 +1,70 @@
+"""Tests for repro.util.stats."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.util import (
+    mean,
+    relative_change,
+    load_imbalance_factor,
+    speedup_curve,
+    parallel_efficiency,
+)
+
+
+def test_mean():
+    assert mean([1, 2, 3]) == 2.0
+
+
+def test_mean_empty_raises():
+    with pytest.raises(ValidationError):
+        mean([])
+
+
+def test_relative_change_post_denominator():
+    # The paper's formula: |a-b|/b with b = post score.
+    assert relative_change(50, 100) == pytest.approx(0.5)
+
+
+def test_relative_change_pre_denominator():
+    assert relative_change(50, 100, denominator="before") == pytest.approx(1.0)
+
+
+def test_relative_change_zero_denominator():
+    with pytest.raises(ValidationError):
+        relative_change(50, 0)
+
+
+def test_load_imbalance_balanced():
+    assert load_imbalance_factor([10, 10, 10]) == pytest.approx(1.0)
+
+
+def test_load_imbalance_skewed():
+    assert load_imbalance_factor([30, 10, 20]) == pytest.approx(1.5)
+
+
+def test_load_imbalance_empty():
+    with pytest.raises(ValidationError):
+        load_imbalance_factor([])
+
+
+def test_speedup_curve():
+    sp = speedup_curve({1: 10.0, 2: 5.0, 4: 2.5})
+    assert sp == {1: 1.0, 2: 2.0, 4: 4.0}
+
+
+def test_speedup_baseline_is_smallest_p():
+    sp = speedup_curve({2: 8.0, 4: 4.0})
+    assert sp[2] == 1.0
+    assert sp[4] == 2.0
+
+
+def test_parallel_efficiency():
+    eff = parallel_efficiency({1: 10.0, 4: 5.0})
+    assert eff[1] == pytest.approx(1.0)
+    assert eff[4] == pytest.approx(0.5)
+
+
+def test_speedup_empty_raises():
+    with pytest.raises(ValidationError):
+        speedup_curve({})

@@ -1,0 +1,48 @@
+"""Tests for the text table renderer."""
+
+import pytest
+
+from repro.util import TextTable
+
+
+def test_basic_render():
+    t = TextTable(["A", "B"], title="Demo")
+    t.add_row(["one", 1])
+    t.add_row(["two", 2])
+    out = t.render()
+    assert "Demo" in out
+    assert "one" in out and "two" in out
+    assert out.splitlines()[2].startswith("A")
+
+
+def test_column_alignment():
+    t = TextTable(["name", "v"])
+    t.add_row(["long-name-here", 1])
+    lines = t.render().splitlines()
+    header, sep, row = lines[0], lines[1], lines[2]
+    assert len(header) == len(row)
+    assert "|" in header and "+" in sep
+
+
+def test_float_formatting():
+    t = TextTable(["x"])
+    t.add_row([3.14159265])
+    assert "3.142" in t.render()
+
+
+def test_wrong_width_raises():
+    t = TextTable(["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row([1])
+
+
+def test_no_title():
+    t = TextTable(["a"])
+    t.add_row([1])
+    assert t.render().splitlines()[0].startswith("a")
+
+
+def test_str_is_render():
+    t = TextTable(["a"])
+    t.add_row([1])
+    assert str(t) == t.render()

@@ -1,0 +1,70 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.util import (
+    require,
+    check_positive,
+    check_nonnegative,
+    check_in_range,
+    check_points,
+)
+
+
+def test_require_passes():
+    require(True, "nope")
+
+
+def test_require_raises():
+    with pytest.raises(ValidationError, match="broken"):
+        require(False, "broken")
+
+
+def test_check_positive():
+    check_positive("x", 1)
+    with pytest.raises(ValidationError, match="x"):
+        check_positive("x", 0)
+    with pytest.raises(ValidationError):
+        check_positive("x", -3)
+
+
+def test_check_nonnegative():
+    check_nonnegative("y", 0)
+    with pytest.raises(ValidationError, match="y"):
+        check_nonnegative("y", -1)
+
+
+def test_check_in_range():
+    check_in_range("z", 0.5, 0, 1)
+    check_in_range("z", 0, 0, 1)
+    check_in_range("z", 1, 0, 1)
+    with pytest.raises(ValidationError):
+        check_in_range("z", 1.1, 0, 1)
+
+
+def test_check_points_valid():
+    pts = check_points("pts", [[1, 2], [3, 4]])
+    assert pts.dtype == np.float64
+    assert pts.shape == (2, 2)
+
+
+def test_check_points_dims_enforced():
+    with pytest.raises(ValidationError, match="dimensions"):
+        check_points("pts", [[1, 2], [3, 4]], dims=3)
+
+
+def test_check_points_rejects_1d():
+    with pytest.raises(ValidationError, match="2-d"):
+        check_points("pts", [1, 2, 3])
+
+
+def test_check_points_rejects_empty():
+    with pytest.raises(ValidationError, match="at least one"):
+        check_points("pts", np.empty((0, 2)))
+
+
+def test_check_points_rejects_nan():
+    with pytest.raises(ValidationError, match="non-finite"):
+        check_points("pts", [[1.0, float("nan")]])

@@ -7,6 +7,8 @@ Subcommands::
     python -m repro all                  # run everything (the evaluation)
     python -m repro modules              # the module catalog
     python -m repro quiz                 # the Figure 1 example question
+    python -m repro trace kmeans         # profile a module workload
+    python -m repro trace kmeans --export-json t.json   # open in Perfetto
 
 Exit status is non-zero when any requested experiment's checks fail, so
 the CLI doubles as a smoke-test in CI.
@@ -100,6 +102,70 @@ def _cmd_quiz(_args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.obs import (
+        analyze_wait_states,
+        critical_path,
+        export_chrome_trace,
+        load_imbalance,
+        render_critical_path,
+        render_imbalance,
+        render_rank_summary,
+        render_wait_states,
+        run_workload,
+        WORKLOADS,
+    )
+    from repro.smpi.timeline import render_timeline
+
+    if args.list:
+        width = max(len(name) for name in WORKLOADS)
+        for name, w in sorted(WORKLOADS.items()):
+            print(
+                f"{name.ljust(width)}  {w.module:>7}  "
+                f"(default nprocs {w.default_nprocs})  {w.description}"
+            )
+        return 0
+    if args.workload is None:
+        print("trace: a WORKLOAD name is required (or --list)", file=sys.stderr)
+        return 2
+    params = {}
+    for item in args.param or []:
+        key, _, value = item.partition("=")
+        if not _:
+            print(f"trace: bad -p {item!r}; expected key=value", file=sys.stderr)
+            return 2
+        try:
+            params[key] = json.loads(value)  # numbers, booleans, lists, ...
+        except json.JSONDecodeError:
+            params[key] = value  # bare strings (e.g. -p method=weighted)
+    result = run_workload(args.workload, nprocs=args.nprocs, **params)
+    tracer = result.tracer
+    print(
+        f"workload {args.workload!r} on {result.world.nprocs} ranks: "
+        f"virtual makespan {result.elapsed:.6g} s, "
+        f"{len(tracer.events)} trace events"
+    )
+    print()
+    print(render_timeline(tracer, width=args.width))
+    print()
+    print(render_rank_summary(tracer))
+    print()
+    print(render_wait_states(analyze_wait_states(tracer)))
+    print()
+    print(render_critical_path(critical_path(tracer)))
+    print(render_imbalance(load_imbalance(tracer)))
+    if args.metrics:
+        print()
+        print(result.metrics.render_table())
+    if args.export_json:
+        path = export_chrome_trace(result, args.export_json)
+        print(f"\nChrome trace written to {path} "
+              f"(open in https://ui.perfetto.dev or chrome://tracing)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -127,6 +193,34 @@ def main(argv=None) -> int:
     sub.add_parser("quiz", help="show the Figure 1 quiz question").set_defaults(
         fn=_cmd_quiz
     )
+    trace_parser = sub.add_parser(
+        "trace", help="profile a module workload (timeline, waits, critical path)"
+    )
+    trace_parser.add_argument(
+        "workload", nargs="?", metavar="WORKLOAD",
+        help="workload name (see --list), e.g. kmeans, ring, stencil",
+    )
+    trace_parser.add_argument(
+        "--list", action="store_true", help="list the available workloads"
+    )
+    trace_parser.add_argument(
+        "-n", "--nprocs", type=int, default=None, help="number of simulated ranks"
+    )
+    trace_parser.add_argument(
+        "-p", "--param", action="append", metavar="KEY=VALUE",
+        help="workload parameter override (repeatable), e.g. -p k=32",
+    )
+    trace_parser.add_argument(
+        "--width", type=int, default=72, help="timeline width in columns"
+    )
+    trace_parser.add_argument(
+        "--metrics", action="store_true", help="also print the full metrics registry"
+    )
+    trace_parser.add_argument(
+        "--export-json", metavar="FILE",
+        help="write a Chrome trace-event JSON file (Perfetto / chrome://tracing)",
+    )
+    trace_parser.set_defaults(fn=_cmd_trace)
     args = parser.parse_args(argv)
     return args.fn(args)
 

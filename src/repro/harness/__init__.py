@@ -18,7 +18,11 @@ from repro.harness.experiments import (
     EXPERIMENTS,
     run_experiment,
 )
-from repro.harness.profile import memory_bound_fraction, profile_from_run
+from repro.harness.profile import (
+    imbalance_from_run,
+    memory_bound_fraction,
+    profile_from_run,
+)
 from repro.harness.kernels import module_kernel_roofline, module_kernels
 
 __all__ = [
@@ -33,6 +37,7 @@ __all__ = [
     "run_experiment",
     "memory_bound_fraction",
     "profile_from_run",
+    "imbalance_from_run",
     "module_kernel_roofline",
     "module_kernels",
 ]

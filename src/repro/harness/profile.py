@@ -13,8 +13,25 @@ close the loop of the Figure 1 exercise: *measure* your program, then
 from __future__ import annotations
 
 from repro.errors import ValidationError
+from repro.obs.analysis import LoadImbalance, load_imbalance
 from repro.slurm.job import WorkloadProfile
 from repro.smpi.runtime import RunResult
+
+
+def _world_rank(result: RunResult, rank: int) -> int:
+    """Map a world-communicator rank to the world rank the trace records.
+
+    The world communicator's group is registered first (cid 0) at launch,
+    so the mapping is explicit rather than assumed identity-by-
+    construction; out-of-range ranks are a caller error, not an empty
+    trace.
+    """
+    group = result.world.group_of(0)
+    if not 0 <= rank < len(group):
+        raise ValidationError(
+            f"rank {rank} out of range for a world of {len(group)} ranks"
+        )
+    return group[rank]
 
 
 def memory_bound_fraction(result: RunResult, rank: int = 0) -> float:
@@ -25,10 +42,10 @@ def memory_bound_fraction(result: RunResult, rank: int = 0) -> float:
     and communication also count as non-compute-bound time, since they
     too leave the cores idle.
     """
-    events = [e for e in result.tracer.events_for(rank)]
+    world_rank = _world_rank(result, rank)
+    events = [e for e in result.tracer.events_for(world_rank)]
     if not events:
         raise ValidationError("no trace events — was tracing enabled?")
-    world_rank = rank  # trace records world ranks
     bandwidth = result.world.arbiter.bandwidth_share(world_rank)
     busy = 0.0
     memory_limited = 0.0
@@ -49,3 +66,8 @@ def profile_from_run(result: RunResult, rank: int = 0) -> WorkloadProfile:
         base_runtime=max(result.elapsed, 1e-12),
         mem_demand=memory_bound_fraction(result, rank),
     )
+
+
+def imbalance_from_run(result: RunResult) -> LoadImbalance:
+    """Load-imbalance score of a finished run (see :mod:`repro.obs`)."""
+    return load_imbalance(result.tracer)

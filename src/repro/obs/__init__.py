@@ -1,0 +1,92 @@
+"""repro.obs — observability for the simulated cluster.
+
+The profiler-grade layer on top of :mod:`repro.smpi`'s tracer and the
+batch scheduler:
+
+* :mod:`repro.obs.metrics` — labelled counters/gauges/histograms,
+  populated by the smpi runtime, the collectives and the scheduler;
+* :mod:`repro.obs.chrome_trace` — Chrome trace-event JSON export (open
+  any run in Perfetto / ``chrome://tracing``), with flow arrows linking
+  matched sends and receives;
+* :mod:`repro.obs.analysis` — wait-state attribution (late sender /
+  late receiver / collective sync), critical-path extraction and
+  load-imbalance scoring;
+* :mod:`repro.obs.workloads` — named module workloads for the
+  ``repro trace`` CLI;
+* :mod:`repro.obs.report` — text renderers for all of the above.
+
+Typical use::
+
+    from repro import smpi
+    from repro.obs import analyze_wait_states, critical_path, export_chrome_trace
+
+    out = smpi.launch(8, my_program)
+    export_chrome_trace(out, "trace.json")      # open in Perfetto
+    waits = analyze_wait_states(out.tracer)     # who waited on whom
+    path = critical_path(out.tracer)            # what set the makespan
+    print(out.metrics.render_table())           # counters & histograms
+"""
+
+from repro.obs.analysis import (
+    CriticalPath,
+    LoadImbalance,
+    MessageMatch,
+    PathSegment,
+    WaitInterval,
+    WaitStateReport,
+    analyze_wait_states,
+    critical_path,
+    load_imbalance,
+    match_messages,
+)
+from repro.obs.chrome_trace import (
+    TRACE_EVENT_SCHEMA,
+    export_chrome_trace,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+)
+from repro.obs.report import (
+    render_critical_path,
+    render_imbalance,
+    render_metrics,
+    render_rank_summary,
+    render_wait_states,
+)
+from repro.obs.workloads import WORKLOADS, Workload, run_workload
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Sample",
+    "to_chrome_trace",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+    "TRACE_EVENT_SCHEMA",
+    "analyze_wait_states",
+    "critical_path",
+    "load_imbalance",
+    "match_messages",
+    "MessageMatch",
+    "WaitInterval",
+    "WaitStateReport",
+    "PathSegment",
+    "CriticalPath",
+    "LoadImbalance",
+    "render_rank_summary",
+    "render_wait_states",
+    "render_critical_path",
+    "render_imbalance",
+    "render_metrics",
+    "WORKLOADS",
+    "Workload",
+    "run_workload",
+]

@@ -1,0 +1,173 @@
+"""Chrome trace-event JSON export: open any run in Perfetto.
+
+:func:`to_chrome_trace` converts a :class:`~repro.smpi.trace.Tracer`
+(or a finished :class:`~repro.smpi.runtime.RunResult`) into the Trace
+Event Format consumed by ``chrome://tracing`` and https://ui.perfetto.dev:
+
+* one *process* per simulated node, one *thread* per rank (named via
+  ``M`` metadata events), so the viewer groups ranks by placement;
+* one complete (``"ph": "X"``) event per trace event, with byte counts,
+  peers and communicator ids in ``args``;
+* flow events (``"s"``/``"f"``) drawing an arrow from each send call to
+  its matching receive completion, paired by the tracer's ``msg_id``.
+
+Timestamps are microseconds (the format's unit); virtual seconds are
+scaled by 1e6.  :func:`validate_chrome_trace` structurally checks a
+payload against :data:`TRACE_EVENT_SCHEMA` — with ``jsonschema`` when
+available, falling back to hand-rolled checks so the test suite does not
+grow a hard dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.errors import ValidationError
+from repro.obs.analysis import match_messages
+from repro.smpi.trace import Tracer
+
+_US = 1e6  # seconds -> microseconds
+
+#: JSON schema for the object form of the Trace Event Format (the subset
+#: this exporter emits); used by the tests and the CI validation step.
+TRACE_EVENT_SCHEMA: dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["traceEvents"],
+    "properties": {
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["ph", "pid", "tid", "name"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "cat": {"type": "string"},
+                    "ph": {"type": "string", "enum": ["X", "M", "s", "f", "C"]},
+                    "ts": {"type": "number", "minimum": 0},
+                    "dur": {"type": "number", "minimum": 0},
+                    "pid": {"type": "integer", "minimum": 0},
+                    "tid": {"type": "integer", "minimum": 0},
+                    "id": {"type": "integer"},
+                    "bp": {"type": "string"},
+                    "args": {"type": "object"},
+                },
+            },
+        },
+        "displayTimeUnit": {"type": "string", "enum": ["ms", "ns"]},
+        "otherData": {"type": "object"},
+    },
+}
+
+
+def _tracer_and_placement(source) -> tuple[Tracer, Optional[Any]]:
+    if isinstance(source, Tracer):
+        return source, None
+    world = getattr(source, "world", None)  # RunResult
+    if world is not None:
+        return world.tracer, world.placement
+    raise ValidationError(
+        f"cannot export {type(source).__name__}; pass a Tracer or RunResult"
+    )
+
+
+def to_chrome_trace(source, *, flows: bool = True) -> dict[str, Any]:
+    """Build the Chrome trace-event object for a tracer or run result."""
+    tracer, placement = _tracer_and_placement(source)
+    events = tracer.events
+    if not events:
+        raise ValidationError("trace is empty — was tracing enabled?")
+
+    def pid_of(rank: int) -> int:
+        return placement.node(rank) if placement is not None else 0
+
+    ranks = sorted({e.rank for e in events})
+    out: list[dict[str, Any]] = []
+    for node in sorted({pid_of(r) for r in ranks}):
+        out.append(
+            {
+                "name": "process_name", "ph": "M", "pid": node, "tid": 0,
+                "args": {"name": f"node{node:03d}"},
+            }
+        )
+    for rank in ranks:
+        out.append(
+            {
+                "name": "thread_name", "ph": "M", "pid": pid_of(rank),
+                "tid": rank, "args": {"name": f"rank {rank}"},
+            }
+        )
+    for e in events:
+        args: dict[str, Any] = {"nbytes": e.nbytes}
+        if e.peer >= 0:
+            args["peer"] = e.peer
+        if e.cid >= 0:
+            args["cid"] = e.cid
+        if e.msg_id >= 0:
+            args["msg_id"] = e.msg_id
+        out.append(
+            {
+                "name": e.primitive, "cat": e.category, "ph": "X",
+                "ts": e.t_start * _US, "dur": e.duration * _US,
+                "pid": pid_of(e.rank), "tid": e.rank, "args": args,
+            }
+        )
+    if flows:
+        for m in match_messages(events):
+            out.append(
+                {
+                    "name": "msg", "cat": "p2p-flow", "ph": "s", "id": m.msg_id,
+                    "ts": m.send.t_start * _US, "pid": pid_of(m.send.rank),
+                    "tid": m.send.rank,
+                }
+            )
+            out.append(
+                {
+                    "name": "msg", "cat": "p2p-flow", "ph": "f", "bp": "e",
+                    "id": m.msg_id, "ts": m.recv.t_end * _US,
+                    "pid": pid_of(m.recv.rank), "tid": m.recv.rank,
+                }
+            )
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "time_unit": "virtual-seconds*1e6"},
+    }
+
+
+def export_chrome_trace(source, path: Union[str, Path], *, flows: bool = True) -> Path:
+    """Write the Chrome trace JSON for ``source`` to ``path``."""
+    path = Path(path)
+    payload = to_chrome_trace(source, flows=flows)
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def validate_chrome_trace(payload: dict[str, Any]) -> None:
+    """Raise :class:`ValidationError` unless ``payload`` is well-formed.
+
+    Uses ``jsonschema`` against :data:`TRACE_EVENT_SCHEMA` when the
+    package is installed; otherwise performs equivalent structural checks.
+    """
+    try:
+        import jsonschema
+    except ImportError:  # pragma: no cover - depends on environment
+        jsonschema = None
+    if jsonschema is not None:
+        try:
+            jsonschema.validate(payload, TRACE_EVENT_SCHEMA)
+        except jsonschema.ValidationError as exc:
+            raise ValidationError(f"invalid Chrome trace: {exc.message}") from exc
+        return
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValidationError("invalid Chrome trace: missing traceEvents")
+    for ev in payload["traceEvents"]:
+        if not isinstance(ev, dict):
+            raise ValidationError("invalid Chrome trace: event is not an object")
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in ev:
+                raise ValidationError(f"invalid Chrome trace: event missing {key!r}")
+        if ev["ph"] == "X" and (ev.get("dur", 0) < 0 or ev.get("ts", 0) < 0):
+            raise ValidationError("invalid Chrome trace: negative ts/dur")

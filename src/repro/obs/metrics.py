@@ -1,0 +1,296 @@
+"""Labelled metrics: counters, gauges and histograms for the simulated stack.
+
+A :class:`MetricsRegistry` is the in-process equivalent of a Prometheus
+client: instruments are identified by a name plus a frozen label set
+(``smpi.bytes_sent{rank=0, peer=1, primitive=MPI_Send}``) and are created
+on first touch, so instrumented code never declares metrics up front.
+Every layer of the simulator owns one registry — each
+:class:`~repro.smpi.runtime.World` and each
+:class:`~repro.slurm.scheduler.Scheduler` — and populates it as virtual
+time advances, which is what lets the ``repro trace`` CLI print a
+profiler-grade metrics table after any module workload.
+
+All instruments are thread-safe (ranks are threads): mutations take the
+registry lock, which is uncontended in practice because virtual-time
+workloads spend almost no real time inside instrument updates.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import ValidationError
+from repro.util.tables import TextTable
+
+LabelSet = tuple[tuple[str, object], ...]
+
+
+def _labelset(labels: dict[str, object]) -> LabelSet:
+    return tuple(sorted(labels.items()))
+
+
+def format_labels(labels: LabelSet) -> str:
+    """Render a label set the way Prometheus would: ``{k=v, ...}``."""
+    if not labels:
+        return ""
+    return "{" + ", ".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+class _Instrument:
+    """Base class: one (name, labelset) time series."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, labels: LabelSet, lock: threading.Lock):
+        self.name = name
+        self.labels = labels
+        self._lock = lock
+
+    @property
+    def label_text(self) -> str:
+        return format_labels(self.labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name}{self.label_text})"
+
+
+class Counter(_Instrument):
+    """Monotonically increasing value (events, bytes, messages)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelSet, lock: threading.Lock):
+        super().__init__(name, labels, lock)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValidationError(f"counter {self.name} cannot decrease (inc {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (queue depth, utilization)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelSet, lock: threading.Lock):
+        super().__init__(name, labels, lock)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+#: default histogram buckets — virtual seconds, spanning microseconds to
+#: minutes, which covers every cost the Hockney/roofline models produce.
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 60.0, 600.0
+)
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram with count/sum/min/max."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet,
+        lock: threading.Lock,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, labels, lock)
+        self.buckets = tuple(sorted(buckets))
+        self._bucket_counts = [0] * (len(self.buckets) + 1)  # last = +inf
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._bucket_counts[i] += 1
+                    return
+            self._bucket_counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        with self._lock:
+            return self._min if self._min is not None else 0.0
+
+    @property
+    def max(self) -> float:
+        with self._lock:
+            return self._max if self._max is not None else 0.0
+
+    def bucket_counts(self) -> dict[float, int]:
+        """Cumulative counts per upper bound (Prometheus ``le`` semantics)."""
+        with self._lock:
+            out: dict[float, int] = {}
+            running = 0
+            for bound, n in zip(self.buckets, self._bucket_counts):
+                running += n
+                out[bound] = running
+            out[float("inf")] = running + self._bucket_counts[-1]
+            return out
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One collected time series: a point-in-time snapshot of an instrument."""
+
+    name: str
+    kind: str
+    labels: LabelSet
+    value: float
+    count: int = 0  # histograms only
+    mean: float = 0.0
+    max: float = 0.0
+
+    @property
+    def label_text(self) -> str:
+        return format_labels(self.labels)
+
+
+@dataclass
+class MetricsRegistry:
+    """Get-or-create home for every instrument of one subsystem."""
+
+    namespace: str = ""
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _instruments: dict[tuple[str, LabelSet], _Instrument] = field(
+        default_factory=dict, repr=False
+    )
+
+    def _get(self, cls, name: str, labels: dict[str, object], **kwargs) -> _Instrument:
+        if self.namespace:
+            name = f"{self.namespace}.{name}"
+        key = (name, _labelset(labels))
+        with self._lock:
+            inst = self._instruments.get(key)
+            if inst is None:
+                inst = cls(name, key[1], self._lock, **kwargs)
+                self._instruments[key] = inst
+            elif not isinstance(inst, cls):
+                raise ValidationError(
+                    f"metric {name}{format_labels(key[1])} already registered "
+                    f"as a {inst.kind}, not a {cls.kind}"
+                )
+            return inst
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS, **labels: object
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    # -- read side ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[_Instrument]:
+        with self._lock:
+            instruments = list(self._instruments.values())
+        return iter(sorted(instruments, key=lambda i: (i.name, i.labels)))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._instruments)
+
+    def value(self, name: str, **labels: object) -> float:
+        """Current value of a counter/gauge (raises for unknown series)."""
+        if self.namespace:
+            name = f"{self.namespace}.{name}"
+        key = (name, _labelset(labels))
+        with self._lock:
+            inst = self._instruments.get(key)
+        if inst is None:
+            raise ValidationError(f"no metric {name}{format_labels(key[1])}")
+        if isinstance(inst, Histogram):
+            return inst.sum
+        return inst.value  # type: ignore[union-attr]
+
+    def collect(self, prefix: str = "") -> list[Sample]:
+        """Snapshot every instrument (optionally filtered by name prefix)."""
+        out = []
+        for inst in self:
+            if prefix and not inst.name.startswith(prefix):
+                continue
+            if isinstance(inst, Histogram):
+                out.append(
+                    Sample(
+                        name=inst.name, kind=inst.kind, labels=inst.labels,
+                        value=inst.sum, count=inst.count, mean=inst.mean,
+                        max=inst.max,
+                    )
+                )
+            else:
+                out.append(
+                    Sample(
+                        name=inst.name, kind=inst.kind, labels=inst.labels,
+                        value=inst.value,  # type: ignore[union-attr]
+                    )
+                )
+        return out
+
+    def render_table(self, prefix: str = "", title: str = "Metrics") -> str:
+        """Human-readable metrics table (the CLI's ``repro trace`` view)."""
+        table = TextTable(
+            ["Metric", "Kind", "Value", "Count", "Mean", "Max"], title=title
+        )
+        for s in self.collect(prefix):
+            table.add_row(
+                [
+                    f"{s.name}{s.label_text}",
+                    s.kind,
+                    s.value,
+                    s.count if s.kind == "histogram" else "-",
+                    s.mean if s.kind == "histogram" else "-",
+                    s.max if s.kind == "histogram" else "-",
+                ]
+            )
+        return table.render()

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import SchedulerError
+from repro.obs.metrics import MetricsRegistry
 from repro.slurm.coschedule import InterferenceModel
 from repro.slurm.job import JobSpec, JobState
 from repro.util.tables import TextTable
@@ -74,6 +75,7 @@ class Scheduler:
         *,
         backfill: bool = True,
         interference: Optional[InterferenceModel] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         check_positive("num_nodes", num_nodes)
         check_positive("cores_per_node", cores_per_node)
@@ -81,6 +83,7 @@ class Scheduler:
         self.cores_per_node = cores_per_node
         self.backfill = backfill
         self.interference = interference or InterferenceModel()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.now = 0.0
         self._ids = itertools.count(1)
         self._records: dict[int, JobRecord] = {}
@@ -166,6 +169,10 @@ class Scheduler:
         rec.state = JobState.RUNNING
         rec.start_time = self.now
         rec.nodes = tuple(sorted(alloc))
+        self.metrics.histogram("scheduler.queue_wait").observe(
+            self.now - rec.submit_time
+        )
+        self.metrics.counter("scheduler.jobs_started").inc()
         for node, tasks in alloc.items():
             self._free_cores[node] -= tasks
             if rec.spec.exclusive:
@@ -185,6 +192,10 @@ class Scheduler:
             self._free_cores[node] += tasks
             if self._exclusive_on.get(node) == job_id:
                 del self._exclusive_on[node]
+        self.metrics.counter("scheduler.jobs_finished", state=state.value).inc()
+        if rec.elapsed is not None:
+            self.metrics.histogram("scheduler.job_elapsed").observe(rec.elapsed)
+        self.metrics.gauge("scheduler.utilization").set(self.utilization())
 
     # -- contention-aware progress ---------------------------------------------
 

@@ -293,11 +293,12 @@ class CollectiveContext:
     blocked rank.
     """
 
-    def __init__(self, kind: str, size: int):
+    def __init__(self, kind: str, size: int, metrics=None):
         if kind not in KINDS:
             raise SMPIError(f"unknown collective kind {kind!r}")
         self.kind = kind
         self.size = size
+        self.metrics = metrics  # optional repro.obs MetricsRegistry
         self.contribs: dict[int, Any] = {}
         self.entry_times: dict[int, float] = {}
         self.roots: dict[int, int] = {}
@@ -339,6 +340,16 @@ class CollectiveContext:
         costs = spec.cost(net, contribs, root)
         self.completions = [start + c for c in costs]
         self.done = True
+        if self.metrics is not None:
+            algo_time = self.metrics.histogram(
+                "smpi.collective.time", algo=spec.primitive
+            )
+            sync_wait = self.metrics.histogram(
+                "smpi.collective.sync_wait", algo=spec.primitive
+            )
+            for r in range(self.size):
+                algo_time.observe(self.completions[r] - self.entry_times[r])
+                sync_wait.observe(start - self.entry_times[r])
 
 
 class CollectiveTable:
@@ -350,8 +361,9 @@ class CollectiveTable:
     descriptive :class:`SMPIError` instead of deadlocking.
     """
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, metrics=None):
         self.size = size
+        self.metrics = metrics
         self._contexts: dict[int, CollectiveContext] = {}
         self._next_index: dict[int, int] = {}
 
@@ -364,7 +376,7 @@ class CollectiveTable:
         self._next_index[rank] = index + 1
         ctx = self._contexts.get(index)
         if ctx is None:
-            ctx = CollectiveContext(kind, self.size)
+            ctx = CollectiveContext(kind, self.size, metrics=self.metrics)
             self._contexts[index] = ctx
         elif ctx.kind != kind:
             raise SMPIError(

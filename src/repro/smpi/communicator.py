@@ -163,6 +163,11 @@ class Comm:
             arrival_time=None if rendezvous else ts + net_time,
             comm_cid=self.cid,
         )
+        metrics = self.world.metrics
+        metrics.counter(
+            "smpi.bytes_sent", rank=src, peer=world_dst, primitive=primitive
+        ).inc(nbytes)
+        metrics.counter("smpi.messages_sent", rank=src, primitive=primitive).inc()
         if not rendezvous:
             with self.world.lock:
                 self.world.check_abort_locked()
@@ -170,7 +175,8 @@ class Comm:
             overhead = self.world.ptp_overhead(src, world_dst)
             self._clock.advance(overhead)
             self.world.tracer.record(
-                src, "p2p", primitive, nbytes, ts, self._clock.now, peer=world_dst
+                src, "p2p", primitive, nbytes, ts, self._clock.now,
+                peer=world_dst, cid=self.cid, msg_id=env.seq,
             )
             if mode == "isend":
                 # The request is already satisfied, but completion is
@@ -187,7 +193,10 @@ class Comm:
             with self.world.lock:
                 self.world.check_abort_locked()
                 self.world.deliver_locked(env)
-            self.world.tracer.record(src, "p2p", primitive, nbytes, ts, ts, peer=world_dst)
+            self.world.tracer.record(
+                src, "p2p", primitive, nbytes, ts, ts,
+                peer=world_dst, cid=self.cid, msg_id=env.seq,
+            )
             req = Request(self, "isend")
             req._env = env  # type: ignore[attr-defined]
             req._send_tag = tag  # type: ignore[attr-defined]
@@ -206,7 +215,8 @@ class Comm:
             )
         self._clock.advance_to(env.completion_time)
         self.world.tracer.record(
-            src, "p2p", primitive, nbytes, ts, self._clock.now, peer=world_dst
+            src, "p2p", primitive, nbytes, ts, self._clock.now,
+            peer=world_dst, cid=self.cid, msg_id=env.seq,
         )
         return None
 
@@ -246,8 +256,12 @@ class Comm:
             completion = self._complete_match_locked(env)
         self._clock.advance_to(completion)
         self.world.tracer.record(
-            me, "p2p", "MPI_Recv", env.nbytes, t_post, self._clock.now, peer=env.source
+            me, "p2p", "MPI_Recv", env.nbytes, t_post, self._clock.now,
+            peer=env.source, cid=self.cid, msg_id=env.seq,
         )
+        self.world.metrics.counter(
+            "smpi.bytes_recv", rank=me, peer=env.source
+        ).inc(env.nbytes)
         self._fill_status(status, env)
         return env.payload
 
@@ -304,7 +318,8 @@ class Comm:
                 queues.post(pr)
                 req._pr = pr  # type: ignore[attr-defined]
         self.world.tracer.record(
-            me, "p2p", "MPI_Irecv", 0, req._post_time, req._post_time  # type: ignore[attr-defined]
+            me, "p2p", "MPI_Irecv", 0,
+            req._post_time, req._post_time, cid=self.cid,  # type: ignore[attr-defined]
         )
         return req
 
@@ -318,7 +333,7 @@ class Comm:
             if env is None:  # eager isend: completes instantly at the wait
                 status = getattr(req, "_eager_status", None) or Status()
                 self.world.tracer.record(
-                    me, "p2p", "MPI_Wait", status.nbytes, t_wait, t_wait
+                    me, "p2p", "MPI_Wait", status.nbytes, t_wait, t_wait, cid=self.cid
                 )
                 req._finish(None, status)
                 return
@@ -334,7 +349,8 @@ class Comm:
                 )
             self._clock.advance_to(env.completion_time)
             self.world.tracer.record(
-                me, "p2p", "MPI_Wait", env.nbytes, t_wait, self._clock.now, peer=env.dest
+                me, "p2p", "MPI_Wait", env.nbytes, t_wait, self._clock.now,
+                peer=env.dest, cid=env.comm_cid, msg_id=env.seq,
             )
             req._finish(None, Status(tag=env.tag, nbytes=env.nbytes))
             return
@@ -354,8 +370,12 @@ class Comm:
             completion = self._complete_match_locked(env)
         self._clock.advance_to(completion)
         self.world.tracer.record(
-            me, "p2p", "MPI_Wait", env.nbytes, t_wait, self._clock.now, peer=env.source
+            me, "p2p", "MPI_Wait", env.nbytes, t_wait, self._clock.now,
+            peer=env.source, cid=env.comm_cid, msg_id=env.seq,
         )
+        self.world.metrics.counter(
+            "smpi.bytes_recv", rank=me, peer=env.source
+        ).inc(env.nbytes)
         status = Status()
         self._fill_status(status, env)
         payload = env.payload
@@ -415,7 +435,9 @@ class Comm:
             )
         if not env.rendezvous and env.arrival_time is not None:
             self._clock.advance_to(env.arrival_time)
-        self.world.tracer.record(me, "p2p", "MPI_Probe", env.nbytes, t0, self._clock.now)
+        self.world.tracer.record(
+            me, "p2p", "MPI_Probe", env.nbytes, t0, self._clock.now, cid=self.cid
+        )
         out = status if status is not None else Status()
         self._fill_status(out, env)
         return out
@@ -508,9 +530,11 @@ class Comm:
             completion = ctx.completions[self._rank]
             table.maybe_release(index)
         self._clock.advance_to(completion)
+        # peer carries the root's *world* rank so overlapping collectives on
+        # different communicators (or roots) stay distinguishable downstream.
         self.world.tracer.record(
             me, "collective", spec.primitive, payload_nbytes(contribution), t0,
-            self._clock.now,
+            self._clock.now, peer=self.group[root], cid=self.cid,
         )
         return result
 

@@ -31,6 +31,7 @@ from repro.cluster.contention import BandwidthArbiter
 from repro.cluster.machine import ClusterSpec, Placement
 from repro.cluster.roofline import ComputeCostModel
 from repro.errors import CommAbortError, DeadlockError, SMPIError
+from repro.obs.metrics import MetricsRegistry
 from repro.smpi.clock import VirtualClock
 from repro.smpi.collectives import CollectiveTable, NetParams
 from repro.smpi.message import Envelope, MatchingQueues, PostedRecv
@@ -88,6 +89,7 @@ class World:
             for node, demand in external_demand.items():
                 self.arbiter.set_external_demand(node, demand)
         self.tracer = Tracer(trace)
+        self.metrics = MetricsRegistry()
 
         self.lock = threading.Lock()
         self.cond = threading.Condition(self.lock)
@@ -114,7 +116,7 @@ class World:
         cid = self._next_cid
         self._next_cid += 1
         self._comm_groups[cid] = group
-        self._coll_tables[cid] = CollectiveTable(len(group))
+        self._coll_tables[cid] = CollectiveTable(len(group), metrics=self.metrics)
         return cid
 
     def split_cid(self, key: tuple, group: tuple[int, ...]) -> int:
@@ -276,6 +278,10 @@ class RunResult:
     def tracer(self) -> Tracer:
         return self.world.tracer
 
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.world.metrics
+
 
 def launch(
     nprocs: int,
@@ -327,6 +333,10 @@ def launch(
         t.join()
     if world.abort_exc is not None:
         raise world.abort_exc
+    world.metrics.gauge("smpi.world.makespan").set(world.elapsed())
+    world.metrics.gauge("smpi.world.nprocs").set(nprocs)
+    for rank in range(nprocs):
+        world.metrics.gauge("smpi.rank.time", rank=rank).set(world.rank_time(rank))
     return RunResult(results=results, world=world)
 
 

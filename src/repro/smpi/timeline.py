@@ -46,7 +46,9 @@ def render_timeline(
         for e in events:
             if e.rank != rank or e.category not in _GLYPHS:
                 continue
-            start = int(e.t_start / horizon * (width - 1))
+            if e.t_start > horizon:  # beyond an explicit, shorter t_end
+                continue
+            start = min(width - 1, int(e.t_start / horizon * (width - 1)))
             stop = max(start, int(min(e.t_end, horizon) / horizon * (width - 1)))
             for col in range(start, stop + 1):
                 if priority[e.category] > cell_priority[col]:

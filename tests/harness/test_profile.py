@@ -39,6 +39,31 @@ def test_profile_from_run_fields():
     assert 0.0 <= profile.mem_demand <= 1.0
 
 
+def test_out_of_range_rank_rejected():
+    out = smpi.launch(2, compute_heavy, cluster=SPEC)
+    for bad in (-1, 2, 99):
+        with pytest.raises(ValidationError, match="out of range"):
+            memory_bound_fraction(out, rank=bad)
+
+
+def test_all_valid_ranks_have_traces():
+    out = smpi.launch(4, compute_heavy, cluster=SPEC)
+    for rank in range(4):
+        assert 0.0 <= memory_bound_fraction(out, rank=rank) <= 1.0
+
+
+def test_imbalance_from_run():
+    from repro.harness import imbalance_from_run
+
+    def skewed(comm):
+        comm.compute(seconds=2.0 if comm.rank == 0 else 1.0)
+        comm.barrier()
+
+    imb = imbalance_from_run(smpi.launch(2, skewed, cluster=SPEC))
+    assert imb.most_loaded_rank == 0
+    assert imb.imbalance == pytest.approx(2.0 / 1.5 - 1.0)
+
+
 def test_untraced_run_rejected():
     out = smpi.launch(2, compute_heavy, cluster=SPEC, trace=False)
     with pytest.raises(ValidationError):

@@ -1,0 +1,100 @@
+"""Chrome trace-event export: structure, flows, schema validation."""
+
+import json
+
+import pytest
+
+from repro import smpi
+from repro.errors import ValidationError
+from repro.obs import (
+    TRACE_EVENT_SCHEMA,
+    export_chrome_trace,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+
+jsonschema = pytest.importorskip("jsonschema")
+
+
+def _pingpong(comm):
+    if comm.rank == 0:
+        comm.send(bytes(4096), dest=1)
+        comm.recv(source=1)
+    else:
+        comm.recv(source=0)
+        comm.send(bytes(4096), dest=0)
+
+
+def test_payload_matches_schema():
+    out = smpi.launch(2, _pingpong)
+    payload = to_chrome_trace(out)
+    jsonschema.validate(payload, TRACE_EVENT_SCHEMA)
+    validate_chrome_trace(payload)
+
+
+def test_module5_kmeans_export_validates(tmp_path):
+    """The ISSUE acceptance criterion: a Module 5 run exports a trace
+    that passes JSON-schema validation."""
+    from repro.modules.module5_kmeans import kmeans_distributed
+
+    out = smpi.launch(4, kmeans_distributed, n=512, k=4, dims=2, max_iter=3)
+    path = export_chrome_trace(out, tmp_path / "kmeans.json")
+    payload = json.loads(path.read_text())
+    jsonschema.validate(payload, TRACE_EVENT_SCHEMA)
+    names = {e["name"] for e in payload["traceEvents"]}
+    assert "compute" in {e["cat"] for e in payload["traceEvents"] if "cat" in e}
+    assert any(n.startswith("MPI_") for n in names)
+
+
+def test_metadata_names_processes_and_threads():
+    out = smpi.launch(2, _pingpong)
+    events = to_chrome_trace(out)["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert {e["args"]["name"] for e in meta if e["name"] == "thread_name"} == {
+        "rank 0",
+        "rank 1",
+    }
+    assert any(e["name"] == "process_name" for e in meta)
+
+
+def test_complete_events_carry_args():
+    out = smpi.launch(2, _pingpong)
+    events = to_chrome_trace(out)["traceEvents"]
+    sends = [e for e in events if e["ph"] == "X" and e["name"] == "MPI_Send"]
+    assert len(sends) == 2
+    for e in sends:
+        assert e["args"]["nbytes"] == 4096
+        assert "peer" in e["args"] and "msg_id" in e["args"]
+        assert e["dur"] >= 0 and e["ts"] >= 0  # microseconds
+
+
+def test_flow_events_pair_up():
+    out = smpi.launch(2, _pingpong)
+    events = to_chrome_trace(out)["traceEvents"]
+    starts = {e["id"] for e in events if e["ph"] == "s"}
+    finishes = {e["id"] for e in events if e["ph"] == "f"}
+    assert starts == finishes
+    assert len(starts) == 2  # one flow per message
+    no_flows = to_chrome_trace(out, flows=False)["traceEvents"]
+    assert not any(e["ph"] in ("s", "f") for e in no_flows)
+
+
+def test_tracer_source_uses_pid_zero():
+    out = smpi.launch(2, _pingpong)
+    events = to_chrome_trace(out.tracer)["traceEvents"]
+    assert {e["pid"] for e in events} == {0}
+
+
+def test_empty_trace_rejected():
+    out = smpi.launch(2, lambda comm: comm.barrier(), trace=False)
+    with pytest.raises(ValidationError):
+        to_chrome_trace(out)
+    with pytest.raises(ValidationError):
+        to_chrome_trace(42)
+
+
+def test_validate_rejects_malformed():
+    with pytest.raises(ValidationError):
+        validate_chrome_trace({"notTraceEvents": []})
+    with pytest.raises(ValidationError):
+        validate_chrome_trace({"traceEvents": [{"ph": "X"}]})  # missing pid/tid/name

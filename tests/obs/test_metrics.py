@@ -1,0 +1,120 @@
+"""Metrics registry: labelled counters, gauges and histograms."""
+
+import threading
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+def test_counter_get_or_create_and_inc():
+    reg = MetricsRegistry()
+    reg.counter("bytes", rank=0).inc(100)
+    reg.counter("bytes", rank=0).inc(50)  # same series
+    reg.counter("bytes", rank=1).inc(7)  # different labels, new series
+    assert reg.value("bytes", rank=0) == 150
+    assert reg.value("bytes", rank=1) == 7
+    assert len(reg) == 2
+
+
+def test_counter_cannot_decrease():
+    reg = MetricsRegistry()
+    with pytest.raises(ValidationError):
+        reg.counter("n").inc(-1)
+
+
+def test_gauge_set_and_add():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth")
+    g.set(5)
+    g.add(-2)
+    assert reg.value("depth") == 3
+
+
+def test_label_order_does_not_matter():
+    reg = MetricsRegistry()
+    reg.counter("msgs", rank=0, peer=1).inc()
+    reg.counter("msgs", peer=1, rank=0).inc()
+    assert reg.value("msgs", rank=0, peer=1) == 2
+
+
+def test_kind_mismatch_rejected():
+    reg = MetricsRegistry()
+    reg.counter("x", rank=0)
+    with pytest.raises(ValidationError):
+        reg.gauge("x", rank=0)
+
+
+def test_unknown_series_rejected():
+    reg = MetricsRegistry()
+    with pytest.raises(ValidationError):
+        reg.value("nope")
+
+
+def test_histogram_statistics():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat")
+    for v in (0.5e-6, 2e-3, 0.5, 700.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == pytest.approx(0.5e-6 + 2e-3 + 0.5 + 700.0)
+    assert h.min == pytest.approx(0.5e-6)
+    assert h.max == pytest.approx(700.0)
+    assert h.mean == pytest.approx(h.sum / 4)
+    counts = h.bucket_counts()
+    assert counts[1e-6] == 1  # cumulative le semantics
+    assert counts[1e-2] == 2
+    assert counts[1.0] == 3
+    assert counts[600.0] == 3  # 700 overflows the last finite bucket
+    assert counts[float("inf")] == 4
+
+
+def test_histogram_custom_buckets():
+    reg = MetricsRegistry()
+    h = reg.histogram("sz", buckets=(10.0, 100.0))
+    h.observe(5)
+    h.observe(50)
+    assert h.bucket_counts() == {10.0: 1, 100.0: 2, float("inf"): 2}
+    assert DEFAULT_BUCKETS[0] == 1e-6
+
+
+def test_namespace_prefixes_names():
+    reg = MetricsRegistry(namespace="smpi")
+    reg.counter("bytes").inc(3)
+    assert reg.value("bytes") == 3
+    assert [s.name for s in reg.collect()] == ["smpi.bytes"]
+
+
+def test_collect_prefix_filter_and_table():
+    reg = MetricsRegistry()
+    reg.counter("smpi.bytes_sent", rank=0).inc(42)
+    reg.gauge("scheduler.utilization").set(0.5)
+    reg.histogram("smpi.collective.time", algo="MPI_Allreduce").observe(0.25)
+    smpi_only = reg.collect(prefix="smpi.")
+    assert {s.name for s in smpi_only} == {"smpi.bytes_sent", "smpi.collective.time"}
+    table = reg.render_table()
+    assert "smpi.bytes_sent{rank=0}" in table
+    assert "scheduler.utilization" in table
+    assert "histogram" in table
+
+
+def test_thread_safe_increments():
+    reg = MetricsRegistry()
+    n_threads, n_incs = 8, 2000
+
+    def worker(rank):
+        c = reg.counter("hits")
+        h = reg.histogram("obs", rank=rank)
+        for _ in range(n_incs):
+            c.inc()
+            h.observe(1.0)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert reg.value("hits") == n_threads * n_incs
+    for i in range(n_threads):
+        assert reg.histogram("obs", rank=i).count == n_incs

@@ -1,0 +1,44 @@
+"""Named workload registry behind the ``repro trace`` CLI."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.workloads import WORKLOADS, run_workload
+
+
+def test_registry_covers_the_modules():
+    assert {"ring", "pingpong", "kmeans", "sort", "stencil"} <= set(WORKLOADS)
+    for w in WORKLOADS.values():
+        assert w.default_nprocs >= 1
+        assert w.module.startswith("module")
+
+
+def test_run_workload_defaults():
+    out = run_workload("pingpong", iterations=2)
+    assert out.world.nprocs == WORKLOADS["pingpong"].default_nprocs
+    assert len(out.tracer.events) > 0
+    assert out.metrics.value("smpi.world.nprocs") == 2
+
+
+def test_run_workload_param_override():
+    out = run_workload("ring", nprocs=3)
+    assert out.world.nprocs == 3
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ValidationError, match="unknown workload"):
+        run_workload("nope")
+
+
+def test_bad_nprocs_rejected():
+    with pytest.raises(ValidationError):
+        run_workload("ring", nprocs=0)
+
+
+def test_stencil_overlap_flag():
+    blocking = run_workload("stencil", nprocs=2, n_local=512, iterations=2)
+    overlapped = run_workload(
+        "stencil", nprocs=2, n_local=512, iterations=2, overlap=True
+    )
+    assert "MPI_Isend" in overlapped.tracer.primitives_used()
+    assert overlapped.elapsed <= blocking.elapsed + 1e-9

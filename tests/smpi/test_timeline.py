@@ -5,6 +5,7 @@ import pytest
 from repro import smpi
 from repro.errors import ValidationError
 from repro.smpi.timeline import render_timeline
+from repro.smpi.trace import Tracer
 
 
 def test_timeline_shows_compute_and_collective():
@@ -51,6 +52,53 @@ def test_timeline_empty_trace_rejected():
     out = smpi.launch(2, fn, trace=False)
     with pytest.raises(ValidationError):
         render_timeline(out.tracer)
+
+
+def test_timeline_single_event():
+    tracer = Tracer()
+    tracer.record(0, "compute", "compute", 0, 0.0, 1.0)
+    text = render_timeline(tracer, width=10)
+    lane = text.splitlines()[1]
+    assert lane.count("#") == 10  # the event spans the whole horizon
+
+
+def test_timeline_zero_duration_events():
+    tracer = Tracer()
+    tracer.record(0, "compute", "compute", 0, 0.0, 2.0)
+    tracer.record(1, "p2p", "MPI_Probe", 0, 1.0, 1.0)  # instantaneous
+    tracer.record(2, "p2p", "MPI_Probe", 0, 2.0, 2.0)  # at the very horizon
+    text = render_timeline(tracer, width=20)
+    lanes = text.splitlines()
+    assert lanes[2].count("~") == 1  # one glyph, mid-lane
+    assert lanes[3].rstrip("|").endswith("~")  # clamped to the last column
+
+
+def test_timeline_explicit_shorter_horizon():
+    """Events past an explicit t_end are skipped; spanning ones clamp."""
+    tracer = Tracer()
+    tracer.record(0, "compute", "compute", 0, 0.0, 10.0)
+    tracer.record(1, "p2p", "MPI_Recv", 0, 8.0, 10.0)  # entirely past t_end=4
+    text = render_timeline(tracer, width=16, t_end=4.0)
+    lanes = text.splitlines()
+    assert lanes[1].count("#") == 16  # clamped to the horizon
+    assert "~" not in lanes[2]  # the late event is not drawn
+    assert "4s" in lanes[0]
+
+
+def test_timeline_explicit_longer_horizon():
+    tracer = Tracer()
+    tracer.record(0, "compute", "compute", 0, 0.0, 1.0)
+    text = render_timeline(tracer, width=20, t_end=2.0)
+    lane = text.splitlines()[1]
+    assert 9 <= lane.count("#") <= 11  # half the lane
+    assert lane.rstrip("|").endswith(" ")
+
+
+def test_timeline_rejects_nonpositive_horizon():
+    tracer = Tracer()
+    tracer.record(0, "compute", "compute", 0, 0.0, 1.0)
+    with pytest.raises(ValidationError):
+        render_timeline(tracer, t_end=0.0)
 
 
 def test_timeline_proportions():

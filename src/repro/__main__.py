@@ -9,6 +9,8 @@ Subcommands::
     python -m repro quiz                 # the Figure 1 example question
     python -m repro trace kmeans         # profile a module workload
     python -m repro trace kmeans --export-json t.json   # open in Perfetto
+    python -m repro faults ring --plan drills.toml      # fault drill
+    python -m repro faults resilient --plan drills.toml --expect degraded
 
 Exit status is non-zero when any requested experiment's checks fail, so
 the CLI doubles as a smoke-test in CI.
@@ -166,6 +168,78 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _parse_params(items) -> dict:
+    import json
+
+    params = {}
+    for item in items or []:
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise ValueError(f"bad -p {item!r}; expected key=value")
+        try:
+            params[key] = json.loads(value)  # numbers, booleans, lists, ...
+        except json.JSONDecodeError:
+            params[key] = value  # bare strings (e.g. -p method=weighted)
+    return params
+
+
+def _cmd_faults(args) -> int:
+    from repro.faults import FaultPlan
+    from repro.faults.runner import OUTCOMES, run_under_faults
+    from repro.obs import WORKLOADS, analyze_wait_states, render_wait_states
+    from repro.smpi.timeline import render_timeline
+
+    if args.list:
+        width = max(len(name) for name in WORKLOADS)
+        for name, w in sorted(WORKLOADS.items()):
+            print(
+                f"{name.ljust(width)}  {w.module:>7}  "
+                f"(default nprocs {w.default_nprocs})  {w.description}"
+            )
+        return 0
+    if args.workload is None:
+        print("faults: a WORKLOAD name is required (or --list)", file=sys.stderr)
+        return 2
+    if args.expect is not None and args.expect not in OUTCOMES:
+        print(
+            f"faults: --expect must be one of {', '.join(OUTCOMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        params = _parse_params(args.param)
+    except ValueError as exc:
+        print(f"faults: {exc}", file=sys.stderr)
+        return 2
+    plan = FaultPlan.from_toml(args.plan) if args.plan else FaultPlan()
+    if args.seed is not None:
+        import dataclasses
+
+        plan = dataclasses.replace(plan, seed=args.seed)
+    print(plan.describe())
+    print()
+    report = run_under_faults(args.workload, plan, nprocs=args.nprocs, **params)
+    for line in report.lines():
+        print(line)
+    if args.waits and report.outcome != "aborted":
+        from repro.obs.workloads import run_workload  # rerun is cheap & deterministic
+
+        out = run_workload(
+            args.workload, nprocs=args.nprocs, faults=plan, check=False, **params
+        )
+        print()
+        print(render_timeline(out.tracer, width=args.width))
+        print()
+        print(render_wait_states(analyze_wait_states(out.tracer)))
+    if args.expect is not None and report.outcome != args.expect:
+        print(
+            f"\nFAIL: expected outcome {args.expect!r}, got {report.outcome!r}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -221,6 +295,43 @@ def main(argv=None) -> int:
         help="write a Chrome trace-event JSON file (Perfetto / chrome://tracing)",
     )
     trace_parser.set_defaults(fn=_cmd_trace)
+    faults_parser = sub.add_parser(
+        "faults",
+        help="run a workload under a fault plan; report survived/degraded/aborted",
+    )
+    faults_parser.add_argument(
+        "workload", nargs="?", metavar="WORKLOAD",
+        help="workload name (see --list), e.g. ring, resilient",
+    )
+    faults_parser.add_argument(
+        "--list", action="store_true", help="list the available workloads"
+    )
+    faults_parser.add_argument(
+        "--plan", metavar="FILE", default=None,
+        help="fault plan TOML (omit for an empty plan)",
+    )
+    faults_parser.add_argument(
+        "--seed", type=int, default=None, help="override the plan's seed"
+    )
+    faults_parser.add_argument(
+        "-n", "--nprocs", type=int, default=None, help="number of simulated ranks"
+    )
+    faults_parser.add_argument(
+        "-p", "--param", action="append", metavar="KEY=VALUE",
+        help="workload parameter override (repeatable)",
+    )
+    faults_parser.add_argument(
+        "--expect", metavar="OUTCOME", default=None,
+        help="exit non-zero unless the outcome matches (survived/degraded/aborted)",
+    )
+    faults_parser.add_argument(
+        "--waits", action="store_true",
+        help="also print the timeline and fault-attributed wait states",
+    )
+    faults_parser.add_argument(
+        "--width", type=int, default=72, help="timeline width in columns"
+    )
+    faults_parser.set_defaults(fn=_cmd_faults)
     args = parser.parse_args(argv)
     return args.fn(args)
 

@@ -52,6 +52,33 @@ class CommAbortError(SMPIError):
     because a peer rank raised an uncaught exception."""
 
 
+class SmpiTimeoutError(SMPIError):
+    """A ``recv``/``wait`` with a ``timeout=`` deadline expired.
+
+    Real MPI has no portable receive timeout; the simulator adds one so
+    fault-drill solutions (Module 8) can degrade gracefully instead of
+    riding a lost message into global deadlock detection.  The deadline
+    is in *virtual* seconds from the time the operation was posted.
+    """
+
+
+class RankCrashedError(SMPIError):
+    """A simulated rank crashed (fault injection, :mod:`repro.faults`).
+
+    Raised in the crashed rank's own thread to unwind it, and — under the
+    ``ERRORS_RETURN`` error handler — in any rank whose point-to-point or
+    collective operation depends on the crashed rank.  Under the default
+    ``ERRORS_ARE_FATAL`` handler the observing rank aborts the whole
+    world instead, as a real MPI job would die.
+    """
+
+
+class _RankSelfCrash(RankCrashedError):
+    """Internal: unwinds the crashed rank's thread without aborting the
+    world.  User code should not catch this; a crashed rank that keeps
+    calling MPI gets it raised again at every call."""
+
+
 class SchedulerError(ReproError):
     """A batch-scheduler request could not be satisfied (bad job spec,
     impossible resource request, unknown job id)."""

@@ -7,7 +7,12 @@ Three analysis passes, each returning structured dataclasses:
   ``late_sender`` (a receive posted before the matching send started),
   ``late_receiver`` (a rendezvous send stalled on a late receive post)
   or ``collective_sync`` (waiting for the last rank to enter a
-  collective).
+  collective).  Under fault injection (:mod:`repro.faults`) two more
+  patterns appear so lost time is charged to the *fault*, not to an
+  innocent peer: ``fault_delay`` (the wait on a message a
+  delay/straggler-link fault slowed down — identified by the fault
+  trace event sharing the message's ``msg_id``) and ``fault_timeout``
+  (a ``timeout=`` receive that expired).
 * :func:`critical_path` — the chain of events that determines the
   virtual makespan, extracted by walking the send/recv/collective
   dependency graph backwards from the last event.  By construction its
@@ -74,7 +79,10 @@ def match_messages(trace: Union[Tracer, Iterable[TraceEvent]]) -> list[MessageMa
     """Pair send-side and receive-side events of every completed message."""
     by_msg: dict[int, list[TraceEvent]] = defaultdict(list)
     for e in _event_list(trace):
-        if e.msg_id >= 0:
+        # Fault markers share the affected message's msg_id but are not
+        # an end of the message; they are matched separately by the
+        # wait-state analysis.
+        if e.msg_id >= 0 and e.category != "fault":
             by_msg[e.msg_id].append(e)
     out = []
     for msg_id, events in sorted(by_msg.items()):
@@ -104,7 +112,9 @@ class WaitInterval:
     """One attributed span of blocked time on one rank."""
 
     rank: int
-    kind: str  # "late_sender" | "late_receiver" | "collective_sync"
+    # "late_sender" | "late_receiver" | "collective_sync"
+    #  | "fault_delay" | "fault_timeout"
+    kind: str
     primitive: str
     peer: int  # causing rank (world rank), or -1 for collectives
     t_start: float
@@ -176,8 +186,39 @@ def analyze_wait_states(
     """Attribute every blocked span to a late peer (Scalasca patterns)."""
     events = _event_list(trace)
     report = WaitStateReport()
+    # Faulted messages: a fault_delay/fault_slowdown trace event shares
+    # the slowed message's msg_id, re-attributing its waits to the fault.
+    slowed_msgs: set[int] = set()
+    for e in events:
+        if e.category != "fault":
+            continue
+        if e.primitive in ("fault_delay", "fault_slowdown") and e.msg_id >= 0:
+            slowed_msgs.add(e.msg_id)
+        elif e.primitive == "fault_timeout" and e.duration > _EPS:
+            # The whole abandoned wait is the fault's; there is no peer
+            # to blame — the message never came.
+            report.intervals.append(
+                WaitInterval(
+                    rank=e.rank, kind="fault_timeout",
+                    primitive=e.primitive, peer=-1,
+                    t_start=e.t_start, t_end=e.t_end, cid=e.cid,
+                )
+            )
     # Point-to-point patterns, from matched message pairs.
     for m in match_messages(events):
+        if m.msg_id in slowed_msgs:
+            # The receiver's whole blocked span is charged to the fault:
+            # without the injected delay/slowdown the sender was on time.
+            if m.recv.t_end > m.recv.t_start + _EPS:
+                report.intervals.append(
+                    WaitInterval(
+                        rank=m.recv.rank, kind="fault_delay",
+                        primitive=m.recv.primitive, peer=m.send.rank,
+                        t_start=m.recv.t_start, t_end=m.recv.t_end,
+                        cid=m.recv.cid,
+                    )
+                )
+            continue
         # Late sender: the receiver sat in its receive before the send
         # call even started; that head span is the sender's fault.
         wait_end = min(m.recv.t_end, m.send.t_start)

@@ -46,7 +46,8 @@ def render_wait_states(report: WaitStateReport, title: str = "Wait states") -> s
         by_rank.setdefault(w.rank, {}).setdefault(w.kind, 0.0)
         by_rank[w.rank][w.kind] += w.time
     table = TextTable(
-        ["Rank", "Late sender (s)", "Late receiver (s)", "Collective sync (s)", "Total (s)"],
+        ["Rank", "Late sender (s)", "Late receiver (s)", "Collective sync (s)",
+         "Fault (s)", "Total (s)"],
         title=title,
     )
     for rank in sorted(by_rank):
@@ -57,6 +58,7 @@ def render_wait_states(report: WaitStateReport, title: str = "Wait states") -> s
                 kinds.get("late_sender", 0.0),
                 kinds.get("late_receiver", 0.0),
                 kinds.get("collective_sync", 0.0),
+                kinds.get("fault_delay", 0.0) + kinds.get("fault_timeout", 0.0),
                 sum(kinds.values()),
             ]
         )

@@ -41,62 +41,83 @@ def _run_ring(nprocs: int, **params: Any) -> "RunResult":
     return smpi.launch(nprocs, ring_exchange, **params)
 
 
-def _run_pingpong(nprocs: int, *, nbytes: int = 65536, iterations: int = 10) -> "RunResult":
+def _run_pingpong(
+    nprocs: int, *, nbytes: int = 65536, iterations: int = 10, **run: Any
+) -> "RunResult":
     from repro import smpi
     from repro.modules.module1_comm import ping_pong
 
-    return smpi.launch(nprocs, ping_pong, nbytes, iterations)
+    return smpi.launch(nprocs, ping_pong, nbytes, iterations, **run)
 
 
-def _run_randomcomm(nprocs: int, *, n_messages: int = 8, seed: int = 0) -> "RunResult":
+def _run_randomcomm(
+    nprocs: int, *, n_messages: int = 8, seed: int = 0, **run: Any
+) -> "RunResult":
     from repro import smpi
     from repro.modules.module1_comm import random_communication_two_phase
 
-    return smpi.launch(nprocs, random_communication_two_phase, n_messages, seed)
+    return smpi.launch(nprocs, random_communication_two_phase, n_messages, seed, **run)
 
 
 def _run_distance(
-    nprocs: int, *, n: int = 1024, dims: int = 32, tile: int = 128
+    nprocs: int, *, n: int = 1024, dims: int = 32, tile: int = 128, **run: Any
 ) -> "RunResult":
     from repro import smpi
     from repro.modules.module2_distance import distributed_distance_matrix
 
-    return smpi.launch(nprocs, distributed_distance_matrix, n=n, dims=dims, tile=tile)
+    return smpi.launch(
+        nprocs, distributed_distance_matrix, n=n, dims=dims, tile=tile, **run
+    )
 
 
 def _run_sort(
-    nprocs: int, *, n_per_rank: int = 10_000, distribution: str = "uniform", seed: int = 1
+    nprocs: int, *, n_per_rank: int = 10_000, distribution: str = "uniform",
+    seed: int = 1, **run: Any
 ) -> "RunResult":
     from repro import smpi
     from repro.modules.module3_sort import sort_activity
 
     return smpi.launch(
         nprocs, sort_activity, n_per_rank=n_per_rank,
-        distribution=distribution, method="equal", seed=seed,
+        distribution=distribution, method="equal", seed=seed, **run
     )
 
 
 def _run_kmeans(
     nprocs: int, *, n: int = 4096, k: int = 8, dims: int = 2,
-    method: str = "weighted", max_iter: int = 10,
+    method: str = "weighted", max_iter: int = 10, **run: Any
 ) -> "RunResult":
     from repro import smpi
     from repro.modules.module5_kmeans import kmeans_distributed
 
     return smpi.launch(
         nprocs, kmeans_distributed, n=n, k=k, dims=dims,
-        method=method, max_iter=max_iter,
+        method=method, max_iter=max_iter, **run
     )
 
 
 def _run_stencil(
-    nprocs: int, *, n_local: int = 4096, iterations: int = 8, overlap: bool = False
+    nprocs: int, *, n_local: int = 4096, iterations: int = 8,
+    overlap: bool = False, **run: Any
 ) -> "RunResult":
     from repro import smpi
     from repro.modules.module6_overlap import stencil_blocking, stencil_overlapped
 
     fn = stencil_overlapped if overlap else stencil_blocking
-    return smpi.launch(nprocs, fn, n_local=n_local, iterations=iterations)
+    return smpi.launch(nprocs, fn, n_local=n_local, iterations=iterations, **run)
+
+
+def _run_resilient(
+    nprocs: int, *, n_terms: int = 1 << 16, shard_timeout: float = 2e-3,
+    attempts: int = 2, **run: Any
+) -> "RunResult":
+    from repro import smpi
+    from repro.faults.drills import resilient_partial_sum
+
+    return smpi.launch(
+        nprocs, resilient_partial_sum, n_terms,
+        shard_timeout=shard_timeout, attempts=attempts, **run
+    )
 
 
 WORKLOADS: dict[str, Workload] = {
@@ -127,6 +148,10 @@ WORKLOADS: dict[str, Workload] = {
         Workload(
             "stencil", "module6", "1-D Jacobi halo exchange (blocking)",
             4, _run_stencil,
+        ),
+        Workload(
+            "resilient", "module8", "fault-tolerant partial sum (timeouts + retry)",
+            4, _run_resilient,
         ),
     )
 }

@@ -22,7 +22,9 @@ from repro.errors import (
     DeadlockError,
     InvalidRankError,
     InvalidTagError,
+    RankCrashedError,
     SMPIError,
+    SmpiTimeoutError,
     TruncationError,
 )
 from repro.smpi.communicator import Comm
@@ -30,6 +32,8 @@ from repro.smpi.datatypes import (
     ALL_OPS,
     ANY_SOURCE,
     ANY_TAG,
+    ERRORS_ARE_FATAL,
+    ERRORS_RETURN,
     BAND,
     BOR,
     BXOR,
@@ -93,4 +97,8 @@ __all__ = [
     "InvalidRankError",
     "InvalidTagError",
     "CommAbortError",
+    "SmpiTimeoutError",
+    "RankCrashedError",
+    "ERRORS_ARE_FATAL",
+    "ERRORS_RETURN",
 ]

@@ -12,19 +12,31 @@ compute-bound vs memory-bound behaviour visible without real hardware.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, NoReturn, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import (
+    CommAbortError,
     InvalidRankError,
     InvalidTagError,
+    RankCrashedError,
     SMPIError,
+    SmpiTimeoutError,
     TruncationError,
 )
 from repro.smpi import datatypes as dt
 from repro.smpi.collectives import KINDS, copy_payload
-from repro.smpi.datatypes import ANY_SOURCE, ANY_TAG, Op, Status, TAG_UB, payload_nbytes
+from repro.smpi.datatypes import (
+    ANY_SOURCE,
+    ANY_TAG,
+    ERRORS_ARE_FATAL,
+    ERRORS_RETURN,
+    Op,
+    Status,
+    TAG_UB,
+    payload_nbytes,
+)
 from repro.smpi.message import Envelope, PostedRecv
 from repro.smpi.request import Request
 from repro.smpi.runtime import World
@@ -47,6 +59,7 @@ class Comm:
         self._inverse = {wr: r for r, wr in enumerate(self.group)}
         self._clock = world.clocks[self._world_rank]
         self._split_count = 0
+        self._errhandler = ERRORS_ARE_FATAL
 
     # -- identity ----------------------------------------------------------
 
@@ -78,8 +91,6 @@ class Comm:
         """Abort the whole world (``MPI_Abort``): every rank's pending
         and future communication raises
         :class:`~repro.errors.CommAbortError`."""
-        from repro.errors import CommAbortError
-
         exc = CommAbortError(
             f"MPI_Abort(errorcode={errorcode}) called by rank {self._rank}"
         )
@@ -115,6 +126,125 @@ class Comm:
             raise InvalidTagError(f"recv tag must be ANY_TAG or in [0, {TAG_UB}], got {tag}")
         return tag
 
+    # -- error handlers & fault hooks -----------------------------------------
+
+    def set_errhandler(self, errhandler: str) -> None:
+        """Choose what happens when an operation observes a crashed peer.
+
+        ``ERRORS_ARE_FATAL`` (the default): abort the whole world, as a
+        real MPI job dies.  ``ERRORS_RETURN``: raise
+        :class:`~repro.errors.RankCrashedError` into this rank's code so
+        fault-tolerant solutions can catch it and degrade (Module 8).
+        Per-communicator, as in ``MPI_Comm_set_errhandler``.
+        """
+        if errhandler not in (ERRORS_ARE_FATAL, ERRORS_RETURN):
+            raise SMPIError(
+                f"unknown errhandler {errhandler!r}; "
+                f"use ERRORS_ARE_FATAL or ERRORS_RETURN"
+            )
+        self._errhandler = errhandler
+
+    def get_errhandler(self) -> str:
+        """The active error handler (``MPI_Comm_get_errhandler``)."""
+        return self._errhandler
+
+    # mpi4py-style aliases
+    Set_errhandler = set_errhandler
+    Get_errhandler = get_errhandler
+
+    def _maybe_crash(self) -> None:
+        """Fault-injection hook at the top of every MPI call: let the
+        injector crash *this* rank if its scheduled time has come."""
+        inj = self.world.faults
+        if inj is not None:
+            inj.maybe_crash(self.world, self._world_rank, self._clock.now)
+
+    def _peer_error(self, exc: SMPIError, origin: str) -> NoReturn:
+        """Dispatch a crashed-peer error through this communicator's
+        error handler.  Caller must NOT hold the world lock."""
+        if self._errhandler == ERRORS_RETURN:
+            raise exc
+        self.world.abort(exc, origin)
+        raise CommAbortError(f"world aborted ({origin}): {exc!r}") from exc
+
+    def _crashed_peer_failure(
+        self, world_peer: int, what: str
+    ) -> Optional[Callable[[], Optional[BaseException]]]:
+        """Failure probe for :meth:`World.block`: fires once the named
+        peer has crashed, because the wait can then never be satisfied.
+
+        Under ``ERRORS_RETURN`` the probe returns the exception for the
+        blocked rank to raise; under ``ERRORS_ARE_FATAL`` it aborts the
+        world in place (the probe runs with the lock held) and returns
+        ``None`` so the next loop iteration raises ``CommAbortError``.
+        ``ANY_SOURCE`` waits never fail this way — another rank may still
+        send; lost-message hangs are covered by ``timeout=`` deadlines
+        and the deadlock detector.
+        """
+        if self.world.faults is None or world_peer < 0:
+            return None
+
+        def failure() -> Optional[BaseException]:
+            if world_peer not in self.world.crashed:
+                return None
+            exc = RankCrashedError(
+                f"{what}: rank {self._inverse.get(world_peer, world_peer)} "
+                f"(world rank {world_peer}) crashed"
+            )
+            if self._errhandler == ERRORS_RETURN:
+                return exc
+            self.world.abort_locked(exc, f"rank {self._rank} observed a crashed peer")
+            return None
+
+        return failure
+
+    def _collective_crash_failure(
+        self, ctx: Any, primitive: str
+    ) -> Optional[Callable[[], Optional[BaseException]]]:
+        """Failure probe for collectives: fires when a member rank has
+        crashed *without* having contributed — the collective can then
+        never complete.  A member that joined before crashing still
+        counts, so the operation finishes with its contribution."""
+        if self.world.faults is None:
+            return None
+
+        def failure() -> Optional[BaseException]:
+            missing = [
+                self._inverse[wr]
+                for wr in self.group
+                if wr in self.world.crashed and self._inverse[wr] not in ctx.contribs
+            ]
+            if not missing:
+                return None
+            exc = RankCrashedError(
+                f"{primitive}: rank(s) {missing} crashed before entering "
+                f"the collective"
+            )
+            if self._errhandler == ERRORS_RETURN:
+                return exc
+            self.world.abort_locked(
+                exc, f"rank {self._rank} observed a crashed peer in {primitive}"
+            )
+            return None
+
+        return failure
+
+    def _abandon_timeout(self, t_post: float, deadline: float, what: str) -> NoReturn:
+        """Abandon a timed-out blocking wait: charge virtual time up to
+        the deadline, emit a ``fault_timeout`` trace event spanning the
+        whole wait (so wait-state analysis attributes the lost time to
+        the fault, not to a late sender), and raise."""
+        me = self._world_rank
+        if self._clock.now < deadline:
+            self._clock.advance_to(deadline)
+        self.world.tracer.record(
+            me, "fault", "fault_timeout", 0, t_post, deadline, cid=self.cid
+        )
+        self.world.metrics.counter("smpi.faults.timeouts", rank=me).inc()
+        raise SmpiTimeoutError(
+            f"{what} timed out after {deadline - t_post:.6g} virtual s"
+        )
+
     # -- point-to-point: sends ------------------------------------------------
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -140,11 +270,26 @@ class Comm:
     ) -> Optional[Request]:
         world_dst = self._check_peer("dest", dest)
         tag = self._check_send_tag(tag)
+        self._maybe_crash()
         src = self._world_rank
         nbytes = payload_nbytes(obj)
         payload = copy_payload(obj)
         ts = self._clock.now
         net_time = self.world.ptp_net_time(src, world_dst, nbytes)
+        decision = None
+        inj = self.world.faults
+        if inj is not None:
+            if world_dst in self.world.crashed:
+                self._peer_error(
+                    RankCrashedError(
+                        f"{primitive}(dest={dest}): destination rank crashed"
+                    ),
+                    f"rank {self._rank} sent to a crashed rank",
+                )
+            decision = inj.on_send(self.world, src, world_dst, tag, nbytes, ts)
+            if decision is not None:
+                # Straggler link and/or one-off delay: stretch the wire time.
+                net_time = net_time * decision.net_factor + decision.extra_delay
         if mode == "ssend":
             rendezvous = True
         elif mode == "bsend":
@@ -163,6 +308,13 @@ class Comm:
             arrival_time=None if rendezvous else ts + net_time,
             comm_cid=self.cid,
         )
+        dropped = False
+        duplicates: list[Envelope] = []
+        if decision is not None:
+            # Records the fault trace events (keyed to env.seq) and builds
+            # any duplicate envelopes; a dropped message is never delivered
+            # but the sender proceeds normally — exactly a lost packet.
+            dropped, duplicates = inj.finalize_send(decision, env)
         metrics = self.world.metrics
         metrics.counter(
             "smpi.bytes_sent", rank=src, peer=world_dst, primitive=primitive
@@ -171,7 +323,10 @@ class Comm:
         if not rendezvous:
             with self.world.lock:
                 self.world.check_abort_locked()
-                self.world.deliver_locked(env)
+                if not dropped:
+                    self.world.deliver_locked(env)
+                for dup in duplicates:
+                    self.world.deliver_locked(dup)
             overhead = self.world.ptp_overhead(src, world_dst)
             self._clock.advance(overhead)
             self.world.tracer.record(
@@ -192,7 +347,10 @@ class Comm:
         if mode == "isend":
             with self.world.lock:
                 self.world.check_abort_locked()
-                self.world.deliver_locked(env)
+                if not dropped:
+                    self.world.deliver_locked(env)
+                for dup in duplicates:
+                    self.world.deliver_locked(dup)
             self.world.tracer.record(
                 src, "p2p", primitive, nbytes, ts, ts,
                 peer=world_dst, cid=self.cid, msg_id=env.seq,
@@ -203,7 +361,10 @@ class Comm:
             return req
         with self.world.lock:
             self.world.check_abort_locked()
-            self.world.deliver_locked(env)
+            if not dropped:
+                self.world.deliver_locked(env)
+            for dup in duplicates:
+                self.world.deliver_locked(dup)
             self.world.block(
                 src,
                 take=lambda: env.completion_time,
@@ -211,6 +372,9 @@ class Comm:
                 description=(
                     f"{primitive}(dest={dest}, tag={tag}, {nbytes} B, rendezvous) "
                     f"waiting for a matching recv"
+                ),
+                failure=self._crashed_peer_failure(
+                    world_dst, f"{primitive}(dest={dest})"
                 ),
             )
         self._clock.advance_to(env.completion_time)
@@ -227,12 +391,27 @@ class Comm:
         source: int = ANY_SOURCE,
         tag: int = ANY_TAG,
         status: Optional[Status] = None,
+        timeout: Optional[float] = None,
     ) -> Any:
-        """Blocking receive; returns the received object."""
+        """Blocking receive; returns the received object.
+
+        ``timeout`` (virtual seconds) bounds the wait: when it expires
+        the call raises :class:`~repro.errors.SmpiTimeoutError` instead
+        of riding a lost message into deadlock detection.  Real MPI has
+        no receive timeout — the simulator adds one for the Module 8
+        fault drills.  A message that matches but would only finish
+        arriving after the deadline is left in the queue for a retry.
+        """
         world_src = self._check_source(source)
         tag = self._check_recv_tag(tag)
+        self._maybe_crash()
         me = self._world_rank
         t_post = self._clock.now
+        deadline = None if timeout is None else t_post + timeout
+        what = (
+            f"MPI_Recv(source={source if source != ANY_SOURCE else 'ANY_SOURCE'}, "
+            f"tag={tag if tag != ANY_TAG else 'ANY_TAG'})"
+        )
         with self.world.lock:
             self.world.check_abort_locked()
             queues = self.world.queues[me]
@@ -243,17 +422,25 @@ class Comm:
                     post_time=t_post,
                 )
                 queues.post(pr)
-                env = self.world.block(
-                    me,
-                    take=lambda: pr.envelope,
-                    can_proceed=lambda: pr.envelope is not None,
-                    description=(
-                        f"MPI_Recv(source={source if source != ANY_SOURCE else 'ANY_SOURCE'}, "
-                        f"tag={tag if tag != ANY_TAG else 'ANY_TAG'}) "
-                        f"waiting for a message"
-                    ),
-                )
+                try:
+                    env = self.world.block(
+                        me,
+                        take=lambda: pr.envelope,
+                        can_proceed=lambda: pr.envelope is not None,
+                        description=f"{what} waiting for a message",
+                        failure=self._crashed_peer_failure(world_src, what),
+                        deadline=deadline,
+                    )
+                except SmpiTimeoutError:
+                    queues.cancel(pr)
+                    self._abandon_timeout(t_post, deadline, what)
             completion = self._complete_match_locked(env)
+            if deadline is not None and completion > deadline:
+                # Matched, but the payload lands after the deadline: put
+                # the envelope back (front of the queue, so ordering and
+                # a later retry both work) and report the timeout.
+                queues.requeue(env)
+                self._abandon_timeout(t_post, deadline, what)
         self._clock.advance_to(completion)
         self.world.tracer.record(
             me, "p2p", "MPI_Recv", env.nbytes, t_post, self._clock.now,
@@ -292,6 +479,7 @@ class Comm:
         """Non-blocking receive; :meth:`Request.wait` returns the object."""
         world_src = self._check_source(source)
         tag = self._check_recv_tag(tag)
+        self._maybe_crash()
         me = self._world_rank
         req = Request(self, "irecv")
         req._post_time = self._clock.now  # type: ignore[attr-defined]
@@ -325,9 +513,11 @@ class Comm:
 
     # -- request completion (called by Request) ---------------------------------
 
-    def _wait_request(self, req: Request) -> None:
+    def _wait_request(self, req: Request, timeout: Optional[float] = None) -> None:
+        self._maybe_crash()
         me = self._world_rank
         t_wait = self._clock.now
+        deadline = None if timeout is None else t_wait + timeout
         if req.kind == "isend":
             env = getattr(req, "_env", None)
             if env is None:  # eager isend: completes instantly at the wait
@@ -338,15 +528,25 @@ class Comm:
                 req._finish(None, status)
                 return
             with self.world.lock:
-                self.world.block(
-                    me,
-                    take=lambda: env.completion_time,
-                    can_proceed=lambda: env.completion_time is not None,
-                    description=(
-                        f"MPI_Wait(isend tag={env.tag}, {env.nbytes} B, rendezvous) "
-                        f"waiting for a matching recv"
-                    ),
-                )
+                try:
+                    self.world.block(
+                        me,
+                        take=lambda: env.completion_time,
+                        can_proceed=lambda: env.completion_time is not None,
+                        description=(
+                            f"MPI_Wait(isend tag={env.tag}, {env.nbytes} B, rendezvous) "
+                            f"waiting for a matching recv"
+                        ),
+                        failure=self._crashed_peer_failure(
+                            env.dest, f"MPI_Wait(isend tag={env.tag})"
+                        ),
+                        deadline=deadline,
+                    )
+                except SmpiTimeoutError:
+                    # The request stays pending; a later wait may complete it.
+                    self._abandon_timeout(t_wait, deadline, "MPI_Wait(isend)")
+            if deadline is not None and env.completion_time > deadline:
+                self._abandon_timeout(t_wait, deadline, "MPI_Wait(isend)")
             self._clock.advance_to(env.completion_time)
             self.world.tracer.record(
                 me, "p2p", "MPI_Wait", env.nbytes, t_wait, self._clock.now,
@@ -360,14 +560,27 @@ class Comm:
             pr = req._pr  # type: ignore[attr-defined]
             with self.world.lock:
                 self.world.check_abort_locked()
-                env = self.world.block(
-                    me,
-                    take=lambda: pr.envelope,
-                    can_proceed=lambda: pr.envelope is not None,
-                    description="MPI_Wait(irecv) waiting for a message",
-                )
+                try:
+                    env = self.world.block(
+                        me,
+                        take=lambda: pr.envelope,
+                        can_proceed=lambda: pr.envelope is not None,
+                        description="MPI_Wait(irecv) waiting for a message",
+                        failure=self._crashed_peer_failure(
+                            pr.source, "MPI_Wait(irecv)"
+                        ),
+                        deadline=deadline,
+                    )
+                except SmpiTimeoutError:
+                    # The posted receive stays live; retry with wait() later.
+                    self._abandon_timeout(t_wait, deadline, "MPI_Wait(irecv)")
         with self.world.lock:
             completion = self._complete_match_locked(env)
+            if deadline is not None and completion > deadline:
+                # Matched, but the payload lands after the deadline: keep
+                # the match on the request and let a later wait finish it.
+                req._env = env  # type: ignore[attr-defined]
+                self._abandon_timeout(t_wait, deadline, "MPI_Wait(irecv)")
         self._clock.advance_to(completion)
         self.world.tracer.record(
             me, "p2p", "MPI_Wait", env.nbytes, t_wait, self._clock.now,
@@ -417,8 +630,14 @@ class Comm:
         """Block until a matching message is available (not consumed)."""
         world_src = self._check_source(source)
         tag = self._check_recv_tag(tag)
+        self._maybe_crash()
         me = self._world_rank
         t0 = self._clock.now
+        what = (
+            f"MPI_Probe(source="
+            f"{source if source != ANY_SOURCE else 'ANY_SOURCE'}, tag="
+            f"{tag if tag != ANY_TAG else 'ANY_TAG'})"
+        )
         with self.world.lock:
             self.world.check_abort_locked()
             queues = self.world.queues[me]
@@ -427,11 +646,8 @@ class Comm:
                 take=lambda: queues.peek_unexpected(world_src, tag, self.cid),
                 can_proceed=lambda: queues.peek_unexpected(world_src, tag, self.cid)
                 is not None,
-                description=(
-                    f"MPI_Probe(source="
-                    f"{source if source != ANY_SOURCE else 'ANY_SOURCE'}, tag="
-                    f"{tag if tag != ANY_TAG else 'ANY_TAG'}) waiting for a message"
-                ),
+                description=f"{what} waiting for a message",
+                failure=self._crashed_peer_failure(world_src, what),
             )
         if not env.rendezvous and env.arrival_time is not None:
             self._clock.advance_to(env.arrival_time)
@@ -503,6 +719,7 @@ class Comm:
             raise SMPIError(f"{kind} requires a reduction op")
         if not 0 <= root < self.size:
             raise InvalidRankError(f"root={root} out of range for size {self.size}")
+        self._maybe_crash()
         me = self._world_rank
         t0 = self._clock.now
         with self.world.lock:
@@ -525,6 +742,7 @@ class Comm:
                 can_proceed=lambda: ctx.done,
                 description=f"{spec.primitive} (collective call #{index}) "
                 f"waiting for all ranks to enter",
+                failure=self._collective_crash_failure(ctx, spec.primitive),
             )
             result = ctx.results[self._rank]
             completion = ctx.completions[self._rank]
@@ -649,6 +867,7 @@ class Comm:
         rank's current share of node memory bandwidth; ``seconds`` is a
         floor for fixed overheads.  Returns the charged duration.
         """
+        self._maybe_crash()
         model = self.world.compute_model(self._world_rank)
         dt_roofline = model.time(flops, nbytes) if (flops or nbytes) else 0.0
         duration = max(dt_roofline, seconds)
@@ -676,11 +895,12 @@ class Comm:
         source: int = ANY_SOURCE,
         tag: int = ANY_TAG,
         status: Optional[Status] = None,
+        timeout: Optional[float] = None,
     ) -> None:
         """Buffer receive: fills ``buf`` in place; raises
         :class:`~repro.errors.TruncationError` when the message is larger
         than the buffer (``MPI_ERR_TRUNCATE``)."""
-        obj = self.recv(source, tag, status)
+        obj = self.recv(source, tag, status, timeout=timeout)
         _copy_into_buffer(obj, buf)
 
     def Irecv(

@@ -26,6 +26,16 @@ TAG_UB: int = 2**22 - 1
 #: Root value used by no rank; handy default in some internals.
 PROC_NULL: int = -2
 
+#: Error-handler: an operation that observes a crashed peer aborts the
+#: whole world, as a real MPI job dies (``MPI_ERRORS_ARE_FATAL``).  The
+#: default on every communicator.
+ERRORS_ARE_FATAL: str = "errors_are_fatal"
+#: Error-handler: the observing operation raises
+#: :class:`~repro.errors.RankCrashedError` into user code instead, so
+#: fault-tolerant solutions can catch it and degrade
+#: (``MPI_ERRORS_RETURN``).
+ERRORS_RETURN: str = "errors_return"
+
 
 @dataclass(frozen=True)
 class Op:

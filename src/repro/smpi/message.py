@@ -123,6 +123,17 @@ class MatchingQueues:
                 return env
         return None
 
+    def requeue(self, env: Envelope) -> None:
+        """Return a matched-but-abandoned envelope to the *front* of the
+        unexpected queue.
+
+        Used when a ``timeout=`` receive matched a message whose payload
+        only lands after the deadline: the receive gives up, but the
+        message is still in transit and a retry may take it — front
+        insertion keeps non-overtaking intact for its source.
+        """
+        self.unexpected.insert(0, env)
+
     def post(self, pr: PostedRecv) -> None:
         self.posted.append(pr)
 

@@ -40,11 +40,16 @@ class Request:
         self._payload = payload
         self._status = status
 
-    def wait(self, status: Optional[Status] = None) -> Any:
+    def wait(self, status: Optional[Status] = None, timeout: Optional[float] = None) -> Any:
         """Block until complete; returns the received object for
-        ``irecv`` requests and ``None`` for ``isend`` requests."""
+        ``irecv`` requests and ``None`` for ``isend`` requests.
+
+        ``timeout`` (virtual seconds) bounds the wait, raising
+        :class:`~repro.errors.SmpiTimeoutError` on expiry; the request
+        stays pending, so a later ``wait`` can still complete it (the
+        Module 8 retry idiom)."""
         if not self._complete:
-            self._comm._wait_request(self)
+            self._comm._wait_request(self, timeout=timeout)
         if status is not None:
             status.source = self._status.source
             status.tag = self._status.tag

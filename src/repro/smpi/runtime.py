@@ -24,29 +24,52 @@ from __future__ import annotations
 
 import math
 import threading
-from dataclasses import dataclass
-from typing import Any, Callable, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 
 from repro.cluster.contention import BandwidthArbiter
 from repro.cluster.machine import ClusterSpec, Placement
 from repro.cluster.roofline import ComputeCostModel
-from repro.errors import CommAbortError, DeadlockError, SMPIError
+from repro.errors import (
+    CommAbortError,
+    DeadlockError,
+    SMPIError,
+    SmpiTimeoutError,
+    _RankSelfCrash,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.smpi.clock import VirtualClock
 from repro.smpi.collectives import CollectiveTable, NetParams
 from repro.smpi.message import Envelope, MatchingQueues, PostedRecv
 from repro.smpi.trace import Tracer
 
-#: hang guard — re-check loop period (real seconds); never hit in practice
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
+
+#: hang guard — re-check loop period (real seconds); never hit in practice.
+#: Every state change that can unblock or kill a waiter (message delivery,
+#: abort, crash, timeout decision, rank exit) must ``notify_all`` so that
+#: waiters never actually ride this out — tests/smpi/test_abort_promptness.py
+#: asserts propagation is prompt and not busy-waiting.
 _POLL_TIMEOUT = 10.0
 
 
 @dataclass
 class _BlockInfo:
-    """Bookkeeping for one blocked rank."""
+    """Bookkeeping for one blocked rank.
+
+    ``deadline`` is an optional virtual-time timeout: a rank blocked with
+    a deadline never deadlocks — when the world would otherwise declare
+    deadlock, the earliest-deadline waiter is told to time out instead
+    (``timed_out`` flips and the waiter raises
+    :class:`~repro.errors.SmpiTimeoutError`).
+    """
 
     description: str
     can_proceed: Callable[[], bool]
+    deadline: Optional[float] = None
+    failure: Optional[Callable[[], Optional[BaseException]]] = None
+    timed_out: bool = field(default=False, compare=False)
 
 
 class World:
@@ -64,6 +87,7 @@ class World:
         placement: Optional[Placement] = None,
         trace: bool = True,
         external_demand: Optional[dict[int, float]] = None,
+        faults: Optional["FaultPlan"] = None,
     ):
         if nprocs < 1:
             raise SMPIError(f"nprocs must be >= 1, got {nprocs}")
@@ -96,9 +120,16 @@ class World:
         self.queues = [MatchingQueues(r) for r in range(nprocs)]
         self.clocks = [VirtualClock() for _ in range(nprocs)]
         self.live: set[int] = set(range(nprocs))
+        self.crashed: set[int] = set()
         self.blocked: dict[int, _BlockInfo] = {}
         self.abort_exc: Optional[BaseException] = None
         self.abort_origin: str = ""
+        self.faults = None
+        if faults is not None and not faults.empty:
+            # Local import: repro.faults depends on repro.smpi for types.
+            from repro.faults.injector import FaultInjector
+
+            self.faults = FaultInjector(faults, nprocs, self.tracer, self.metrics)
 
         self._coll_tables: dict[int, CollectiveTable] = {}
         self._comm_groups: dict[int, tuple[int, ...]] = {}
@@ -184,6 +215,8 @@ class World:
         take: Callable[[], Any],
         can_proceed: Callable[[], bool],
         description: str,
+        failure: Optional[Callable[[], Optional[BaseException]]] = None,
+        deadline: Optional[float] = None,
     ) -> Any:
         """Block ``rank`` until ``take()`` returns non-None.
 
@@ -191,16 +224,36 @@ class World:
         envelope); ``can_proceed`` is a side-effect-free satisfiability
         probe used by the deadlock detector.  Caller must hold the world
         lock.
+
+        ``failure`` (optional) is probed on every wake-up *after* ``take``
+        — so an already-available result still wins — and any exception it
+        returns is raised in the blocked rank (the crashed-peer path).
+        ``deadline`` (optional, virtual seconds) registers a timeout: if
+        the world stalls and this waiter holds the earliest deadline, the
+        block raises :class:`~repro.errors.SmpiTimeoutError` instead of
+        the world declaring deadlock.
         """
+        info = _BlockInfo(description, can_proceed, deadline, failure)
         while True:
             self.check_abort_locked()
             result = take()
             if result is not None:
                 return result
-            self.blocked[rank] = _BlockInfo(description, can_proceed)
-            self._deadlock_check_locked()
+            if failure is not None:
+                exc = failure()
+                if exc is not None:
+                    raise exc
+            if info.timed_out:
+                raise SmpiTimeoutError(
+                    f"{description} timed out after {deadline:.6g} virtual s"
+                )
+            self.blocked[rank] = info
             try:
-                self.cond.wait(timeout=_POLL_TIMEOUT)
+                self._deadlock_check_locked()
+                # The check may have timed *us* out or aborted the world;
+                # re-loop instead of waiting on a notify we already missed.
+                if not info.timed_out and self.abort_exc is None:
+                    self.cond.wait(timeout=_POLL_TIMEOUT)
             finally:
                 self.blocked.pop(rank, None)
 
@@ -210,6 +263,37 @@ class World:
         if not self.live or len(self.blocked) < len(self.live):
             return
         if any(info.can_proceed() for info in self.blocked.values()):
+            return
+        # The world has stalled.  Escape hatches fire before anyone
+        # declares deadlock, in order of definitiveness:
+        # 1) a waiter whose failure probe fires (e.g. its peer crashed)
+        #    is woken to raise rather than hang.  Probing may itself
+        #    abort the world (the ERRORS_ARE_FATAL path) — that is the
+        #    intended semantic, and the early return below covers it.
+        for info in self.blocked.values():
+            if info.failure is not None and info.failure() is not None:
+                self.cond.notify_all()
+                return
+        if self.abort_exc is not None:
+            self.cond.notify_all()
+            return
+        # 2) waiters with a deadline time out (in deadline order, one at
+        #    a time — timing out may unstall the rest).
+        pending = [
+            (info.deadline, rank)
+            for rank, info in self.blocked.items()
+            if info.deadline is not None and not info.timed_out
+        ]
+        if pending:
+            _, rank = min(pending)
+            self.blocked[rank].timed_out = True
+            self.cond.notify_all()
+            return
+        # 3) a timeout already handed out but not yet processed (its
+        #    waiter holds no lock between being marked and waking up) is
+        #    still an escape route, not a deadlock.
+        if any(info.timed_out for info in self.blocked.values()):
+            self.cond.notify_all()
             return
         lines = [
             f"  rank {rank}: {info.description}"
@@ -225,9 +309,33 @@ class World:
     def abort(self, exc: BaseException, origin: str) -> None:
         """Abort the world (first error wins); wakes every blocked rank."""
         with self.lock:
-            if self.abort_exc is None:
-                self.abort_exc = exc
-                self.abort_origin = origin
+            self.abort_locked(exc, origin)
+
+    def abort_locked(self, exc: BaseException, origin: str) -> None:
+        """Abort with the world lock already held.
+
+        The single funnel for every abort path: it always notifies, so a
+        rank parked in ``cond.wait`` observes the abort immediately
+        rather than riding out the poll timeout.
+        """
+        if self.abort_exc is None:
+            self.abort_exc = exc
+            self.abort_origin = origin
+        self.cond.notify_all()
+
+    def crash_rank(self, rank: int, reason: str) -> None:
+        """Kill one rank (fault injection): it leaves the live set, its
+        crash is recorded as a ``fault_crash`` trace event, and every
+        blocked rank is woken so crashed-peer probes fire promptly."""
+        with self.lock:
+            if rank in self.crashed:
+                return
+            self.crashed.add(rank)
+            self.live.discard(rank)
+            now = self.clocks[rank].now
+            self.tracer.record(rank, "fault", "fault_crash", 0, now, now)
+            self.metrics.counter("smpi.faults.injected", kind="crash").inc()
+            self._deadlock_check_locked()
             self.cond.notify_all()
 
     def finish_rank(self, rank: int) -> None:
@@ -264,10 +372,17 @@ class World:
 
 @dataclass
 class RunResult:
-    """Everything :func:`launch` returns about a finished world."""
+    """Everything :func:`launch` returns about a finished world.
+
+    ``error`` is only ever non-None when :func:`launch` was called with
+    ``check=False`` (the fault-drill path): it carries the exception that
+    would otherwise have been raised, with the world still attached for
+    post-mortem trace analysis.
+    """
 
     results: list[Any]
     world: World
+    error: Optional[BaseException] = None
 
     @property
     def elapsed(self) -> float:
@@ -291,6 +406,8 @@ def launch(
     placement: Optional[Placement] = None,
     trace: bool = True,
     external_demand: Optional[dict[int, float]] = None,
+    faults: Optional["FaultPlan"] = None,
+    check: bool = True,
     **kwargs: Any,
 ) -> RunResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
@@ -299,6 +416,12 @@ def launch(
     world (clocks, tracer) for performance analysis.  Any exception in a
     rank aborts the whole job and is re-raised here; a detected deadlock
     raises :class:`~repro.errors.DeadlockError`.
+
+    ``faults`` schedules a :class:`~repro.faults.FaultPlan` against the
+    run (message drop/delay/duplication, straggler links, rank crashes).
+    With ``check=False`` an aborting run does not raise: the abort
+    exception lands on :attr:`RunResult.error` with the world attached,
+    so fault drills can analyse the trace of a failed job.
     """
     from repro.smpi.communicator import Comm  # local import breaks the cycle
 
@@ -308,6 +431,7 @@ def launch(
         placement=placement,
         trace=trace,
         external_demand=external_demand,
+        faults=faults,
     )
     world_cid = world.new_comm_cid(range(nprocs))
     comms = [Comm(world, world_cid, rank) for rank in range(nprocs)]
@@ -318,6 +442,8 @@ def launch(
             results[rank] = fn(comms[rank], *args, **kwargs)
         except CommAbortError:
             pass  # collateral damage of another rank's failure
+        except _RankSelfCrash:
+            pass  # injected crash: this rank dies, the world lives on
         except BaseException as exc:  # noqa: BLE001 - must propagate any error
             world.abort(exc, f"rank {rank}")
         finally:
@@ -332,7 +458,9 @@ def launch(
     for t in threads:
         t.join()
     if world.abort_exc is not None:
-        raise world.abort_exc
+        if check:
+            raise world.abort_exc
+        return RunResult(results=results, world=world, error=world.abort_exc)
     world.metrics.gauge("smpi.world.makespan").set(world.elapsed())
     world.metrics.gauge("smpi.world.nprocs").set(nprocs)
     for rank in range(nprocs):

@@ -2,9 +2,10 @@
 
 The visual counterpart of Module 5's compute/communication breakdown:
 one lane per rank, virtual time on the x-axis, glyphs by category —
-``#`` compute, ``~`` point-to-point, ``=`` collective, ``.`` idle (time
-with no recorded activity, usually waiting inside a later-recorded
-blocking call's span).
+``#`` compute, ``~`` point-to-point, ``=`` collective, ``!`` fault
+(injected by :mod:`repro.faults`), ``.`` idle (time with no recorded
+activity, usually waiting inside a later-recorded blocking call's
+span).
 """
 
 from __future__ import annotations
@@ -14,7 +15,7 @@ from typing import Optional, Sequence
 from repro.errors import ValidationError
 from repro.smpi.trace import Tracer
 
-_GLYPHS = {"compute": "#", "p2p": "~", "collective": "="}
+_GLYPHS = {"compute": "#", "p2p": "~", "collective": "=", "fault": "!"}
 
 
 def render_timeline(
@@ -27,8 +28,8 @@ def render_timeline(
     """Render one lane per rank over ``[0, t_end]`` virtual seconds.
 
     When several events overlap a cell, the busier category wins in the
-    order collective > p2p > compute (waits dominate visually, as they
-    dominate attention).
+    order fault > collective > p2p > compute (faults and waits dominate
+    visually, as they dominate attention).
     """
     events = tracer.events
     if not events:
@@ -38,7 +39,7 @@ def render_timeline(
     horizon = t_end if t_end is not None else max(e.t_end for e in events)
     if horizon <= 0:
         raise ValidationError("timeline horizon must be positive")
-    priority = {"compute": 0, "p2p": 1, "collective": 2}
+    priority = {"compute": 0, "p2p": 1, "collective": 2, "fault": 3}
     lines = []
     for rank in ranks:
         cells = [" "] * width
@@ -58,5 +59,5 @@ def render_timeline(
     header = (
         f"{'':>9}0{' ' * (width - len(f'{horizon:.3g}') - 1)}{horizon:.3g}s"
     )
-    legend = "          # compute   ~ point-to-point   = collective"
+    legend = "          # compute   ~ point-to-point   = collective   ! fault"
     return "\n".join([header] + lines + [legend])

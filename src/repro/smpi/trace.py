@@ -44,8 +44,8 @@ class TraceEvent:
     """
 
     rank: int
-    category: str  # "compute" | "p2p" | "collective"
-    primitive: str  # e.g. "MPI_Send", "MPI_Allreduce", "compute"
+    category: str  # "compute" | "p2p" | "collective" | "fault"
+    primitive: str  # e.g. "MPI_Send", "MPI_Allreduce", "compute", "fault_drop"
     nbytes: int
     t_start: float
     t_end: float
@@ -83,7 +83,12 @@ class TraceSummary:
         return self.comm_time / total if total > 0 else 0.0
 
     def _add(self, event: TraceEvent, send_like: frozenset[str]) -> None:
-        """Fold one event in (the incremental-maintenance hook)."""
+        """Fold one event in (the incremental-maintenance hook).
+
+        ``fault``-category events (injected by :mod:`repro.faults`)
+        contribute to ``primitive_counts`` but to none of the time
+        buckets — they mark an injection, they are not rank work.
+        """
         if event.category == "compute":
             self.compute_time += event.duration
         elif event.category == "p2p":

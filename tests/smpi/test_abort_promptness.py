@@ -1,0 +1,104 @@
+"""Abort and timeout propagation must be prompt — never a 10 s poll ride.
+
+The world's condition variable is notified on every abort/crash/timeout
+(the ``abort_locked`` funnel), so a rank parked in ``cond.wait`` wakes
+immediately.  These tests put a wall clock on that promise: every
+scenario must resolve in well under ``_POLL_TIMEOUT`` (10 real seconds).
+If one of them starts taking seconds, a notify went missing and blocked
+ranks are riding out the poll interval — the busy-wait/lost-wakeup bug
+class this file guards against.
+"""
+
+import time
+
+import pytest
+
+from repro import smpi
+from repro.errors import DeadlockError, RankCrashedError, SmpiTimeoutError
+from repro.faults import FaultPlan
+from repro.smpi.runtime import _POLL_TIMEOUT
+
+# Generous CI headroom, still far below _POLL_TIMEOUT.
+PROMPT = 2.0
+
+
+@pytest.fixture(autouse=True)
+def _check_poll_timeout():
+    assert _POLL_TIMEOUT >= 5.0, "PROMPT bound assumes a long poll interval"
+
+
+def _elapsed(fn, *args, **kwargs):
+    t0 = time.monotonic()
+    try:
+        return fn(*args, **kwargs), time.monotonic() - t0
+    except BaseException:
+        raise AssertionError("helper expects fn not to raise")
+
+
+def test_abort_interrupts_a_blocked_recv_promptly():
+    """Rank 0 is deep in cond.wait when rank 1 fails 0.2 real seconds
+    later; the abort notify must wake it immediately."""
+
+    def fn(comm):
+        if comm.rank == 1:
+            time.sleep(0.2)  # real time: rank 0 is parked in cond.wait
+            raise RuntimeError("late failure")
+        comm.recv(source=1)
+
+    t0 = time.monotonic()
+    with pytest.raises(RuntimeError, match="late failure"):
+        smpi.run(2, fn)
+    assert time.monotonic() - t0 < PROMPT
+
+
+def test_deadlock_detection_is_prompt():
+    def fn(comm):
+        comm.recv(source=(comm.rank + 1) % comm.size)
+
+    t0 = time.monotonic()
+    with pytest.raises(DeadlockError):
+        smpi.run(2, fn)
+    assert time.monotonic() - t0 < PROMPT
+
+
+def test_virtual_timeout_fires_in_real_milliseconds():
+    """A 2 ms *virtual* timeout must not cost real seconds: the stall
+    detector hands out the timeout as soon as the world stalls."""
+
+    def fn(comm):
+        with pytest.raises(SmpiTimeoutError):
+            comm.recv(source=0, timeout=2e-3)
+        return True
+
+    (results, dt) = _elapsed(smpi.run, 1, fn)
+    assert results == [True]
+    assert dt < PROMPT
+
+
+def test_crashed_peer_error_is_prompt():
+    def fn(comm):
+        if comm.rank == 1:
+            time.sleep(0.2)
+            comm.barrier()  # crash trigger fires here
+            return None
+        comm.set_errhandler(smpi.ERRORS_RETURN)
+        try:
+            comm.recv(source=1)
+        except RankCrashedError:
+            return "handled"
+
+    plan = FaultPlan().crash(rank=1, at_time=0.0)
+    (out, dt) = _elapsed(smpi.launch, 2, fn, faults=plan)
+    assert out.results[0] == "handled"
+    assert dt < PROMPT
+
+
+def test_retry_loop_under_faults_is_prompt():
+    """Two timed-out attempts plus a crashed peer: the whole drill must
+    resolve without ever waiting out the poll interval."""
+    from repro.faults.drills import resilient_partial_sum
+
+    plan = FaultPlan(seed=5).drop(src=2, dst=0).crash(rank=3, at_time=0.0)
+    (out, dt) = _elapsed(smpi.launch, 4, resilient_partial_sum, faults=plan)
+    assert out.results[0]["lost_ranks"] == [2, 3]
+    assert dt < PROMPT

@@ -1,0 +1,119 @@
+"""Deadlock-detector edge cases: tiny worlds, crashes, and aborts."""
+
+import pytest
+
+from repro import smpi
+from repro.errors import DeadlockError, RankCrashedError
+from repro.faults import FaultPlan
+
+
+class TestSingleRankWorld:
+    def test_self_deadlock_is_detected(self):
+        def fn(comm):
+            comm.recv(source=0)  # nobody will ever send
+
+        with pytest.raises(DeadlockError) as exc:
+            smpi.run(1, fn)
+        assert "rank 0" in str(exc.value)
+
+    def test_timeout_beats_deadlock(self):
+        """With a deadline the lone waiter times out instead of the world
+        declaring deadlock."""
+
+        def fn(comm):
+            with pytest.raises(smpi.SmpiTimeoutError):
+                comm.recv(source=0, timeout=1e-3)
+            return "survived"
+
+        assert smpi.run(1, fn) == ["survived"]
+
+    def test_self_send_recv_works(self):
+        def fn(comm):
+            comm.send("hello me", dest=0)
+            return comm.recv(source=0)
+
+        assert smpi.run(1, fn) == ["hello me"]
+
+
+class TestAbortMidCollective:
+    def test_peers_in_a_barrier_observe_the_abort(self):
+        def fn(comm):
+            if comm.rank == 0:
+                raise RuntimeError("boom before the barrier")
+            comm.barrier()  # would hang forever without abort propagation
+
+        with pytest.raises(RuntimeError, match="boom"):
+            smpi.run(4, fn)
+
+    def test_crash_mid_allreduce_aborts_under_fatal_handler(self):
+        def fn(comm):
+            comm.compute(flops=1e6)  # move everyone past t=0
+            return comm.allreduce(comm.rank)
+
+        plan = FaultPlan().crash(rank=1, at_time=0.0)
+        out = smpi.launch(4, fn, faults=plan, check=False)
+        assert isinstance(out.error, RankCrashedError)
+        assert "MPI_Allreduce" in str(out.error) or "crash" in str(out.error)
+
+    def test_crash_mid_allreduce_raises_in_peers_under_errors_return(self):
+        def fn(comm):
+            comm.set_errhandler(smpi.ERRORS_RETURN)
+            comm.compute(flops=1e6)
+            try:
+                return comm.allreduce(comm.rank)
+            except RankCrashedError:
+                return "partial"
+
+        plan = FaultPlan().crash(rank=1, at_time=0.0)
+        out = smpi.launch(4, fn, faults=plan)
+        assert out.error is None
+        assert [out.results[r] for r in (0, 2, 3)] == ["partial"] * 3
+        assert out.results[1] is None  # the crashed rank never returned
+
+
+class TestRecvFromCrashedRank:
+    def test_clear_error_not_a_deadlock(self):
+        """A receive whose peer is already dead raises RankCrashedError
+        (ERRORS_RETURN), not DeadlockError and not a stuck world."""
+
+        def fn(comm):
+            if comm.rank == 1:
+                comm.barrier()
+                return None
+            comm.set_errhandler(smpi.ERRORS_RETURN)
+            with pytest.raises(RankCrashedError) as exc:
+                comm.recv(source=1)
+            return str(exc.value)
+
+        plan = FaultPlan().crash(rank=1, at_time=0.0)
+        out = smpi.launch(2, fn, faults=plan)
+        assert "rank 1" in out.results[0]
+
+    def test_fatal_handler_turns_it_into_a_world_abort(self):
+        def fn(comm):
+            if comm.rank == 1:
+                comm.barrier()
+                return None
+            comm.recv(source=1)
+
+        plan = FaultPlan().crash(rank=1, at_time=0.0)
+        out = smpi.launch(2, fn, faults=plan, check=False)
+        assert isinstance(out.error, RankCrashedError)
+
+    def test_any_source_recv_still_matches_survivors(self):
+        """ANY_SOURCE must not fail just because *some* rank died — a
+        surviving sender satisfies it."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.set_errhandler(smpi.ERRORS_RETURN)
+                return comm.recv(source=smpi.ANY_SOURCE)
+            if comm.rank == 1:
+                comm.barrier()  # dies here
+                return None
+            comm.send(f"from {comm.rank}", dest=0)
+            return None
+
+        plan = FaultPlan().crash(rank=1, at_time=0.0)
+        out = smpi.launch(3, fn, faults=plan)
+        assert out.results[0] == "from 2"

@@ -1,0 +1,63 @@
+"""Recovery — the checkpoint-overhead contract.
+
+Fault tolerance is only free when nothing fails *and* the insurance
+premium is small.  This benchmark holds the premium to a number: running
+Module 5's k-means through :func:`repro.recovery.run_with_recovery`
+with **no faults injected** must cost less than 5% extra virtual time
+over the plain Module 5 solver — the checkpoint saves are real
+(roofline-charged memory streams) but small next to the compute and
+allreduce work they protect.  A regression here means checkpoints got
+accidentally expensive (e.g. charged as compute-bound, or taken more
+often than ``checkpoint_every`` asks).
+"""
+
+import pytest
+
+from repro import smpi
+from repro.modules.module5_kmeans import kmeans_distributed
+from repro.recovery import run_recoverable
+
+NPROCS = 4
+KM = dict(n=4096, k=8, dims=2, max_iter=10, seed=0)
+
+
+def test_checkpointing_overhead_at_zero_faults(benchmark):
+    """The acceptance bound: fault-free recoverable k-means stays within
+    5% of the plain solver's virtual makespan."""
+    base = smpi.launch(
+        NPROCS, lambda comm: kmeans_distributed(comm, method="weighted", **KM)
+    )
+
+    run = benchmark.pedantic(
+        lambda: run_recoverable("kmeans", nprocs=NPROCS, **KM),
+        rounds=3,
+        iterations=1,
+    )
+    r = run.report
+    assert r.outcome == "survived"
+    assert r.checkpoints > 0  # the premium was actually paid
+    assert r.rollbacks == 0 and r.shrinks == 0
+    assert r.makespan <= base.elapsed * 1.05
+    # and the answer is the plain solver's answer
+    import numpy as np
+
+    assert np.allclose(
+        run.run.results[0].centroids, base.results[0].centroids
+    )
+
+
+def test_sparser_checkpoints_cost_less(benchmark):
+    """``checkpoint_every`` is a real dial: halving checkpoint frequency
+    must not *increase* the fault-free makespan."""
+    dense = run_recoverable("kmeans", nprocs=NPROCS, **KM)
+
+    sparse = benchmark.pedantic(
+        lambda: run_recoverable(
+            "kmeans", nprocs=NPROCS, checkpoint_every=5, **KM
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert sparse.report.outcome == "survived"
+    assert sparse.report.checkpoints < dense.report.checkpoints
+    assert sparse.report.makespan <= dense.report.makespan

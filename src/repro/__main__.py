@@ -11,6 +11,8 @@ Subcommands::
     python -m repro trace kmeans --export-json t.json   # open in Perfetto
     python -m repro faults ring --plan drills.toml      # fault drill
     python -m repro faults resilient --plan drills.toml --expect degraded
+    python -m repro recover kmeans --plan crash.toml     # recovery drill
+    python -m repro recover sort --plan crash.toml --expect recovered
 
 Exit status is non-zero when any requested experiment's checks fail, so
 the CLI doubles as a smoke-test in CI.
@@ -240,6 +242,63 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_recover(args) -> int:
+    from repro.faults import FaultPlan
+    from repro.obs import analyze_wait_states, render_wait_states
+    from repro.recovery import RECOVERABLE, RECOVERY_OUTCOMES, run_recoverable
+    from repro.smpi.timeline import render_timeline
+
+    if args.list:
+        width = max(len(name) for name in RECOVERABLE)
+        for name, w in sorted(RECOVERABLE.items()):
+            print(
+                f"{name.ljust(width)}  {w.module:>7}  "
+                f"(default nprocs {w.default_nprocs})  {w.description}"
+            )
+        return 0
+    if args.workload is None:
+        print("recover: a WORKLOAD name is required (or --list)", file=sys.stderr)
+        return 2
+    if args.expect is not None and args.expect not in RECOVERY_OUTCOMES:
+        print(
+            f"recover: --expect must be one of {', '.join(RECOVERY_OUTCOMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        params = _parse_params(args.param)
+    except ValueError as exc:
+        print(f"recover: {exc}", file=sys.stderr)
+        return 2
+    plan = FaultPlan.from_toml(args.plan) if args.plan else FaultPlan()
+    if args.seed is not None:
+        import dataclasses
+
+        plan = dataclasses.replace(plan, seed=args.seed)
+    print(plan.describe())
+    print()
+    run = run_recoverable(
+        args.workload, plan, nprocs=args.nprocs,
+        max_recoveries=args.max_recoveries, **params,
+    )
+    report = run.report
+    for line in report.lines():
+        print(line)
+    if args.waits and report.outcome != "aborted":
+        tracer = run.run.tracer  # no rerun needed: the world is attached
+        print()
+        print(render_timeline(tracer, width=args.width))
+        print()
+        print(render_wait_states(analyze_wait_states(tracer)))
+    if args.expect is not None and report.outcome != args.expect:
+        print(
+            f"\nFAIL: expected outcome {args.expect!r}, got {report.outcome!r}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -332,6 +391,49 @@ def main(argv=None) -> int:
         "--width", type=int, default=72, help="timeline width in columns"
     )
     faults_parser.set_defaults(fn=_cmd_faults)
+    recover_parser = sub.add_parser(
+        "recover",
+        help="run a recoverable workload under a crash plan; report "
+        "survived/recovered/degraded/aborted plus rollback cost",
+    )
+    recover_parser.add_argument(
+        "workload", nargs="?", metavar="WORKLOAD",
+        help="recoverable workload name (see --list), e.g. kmeans, sort",
+    )
+    recover_parser.add_argument(
+        "--list", action="store_true", help="list the recoverable workloads"
+    )
+    recover_parser.add_argument(
+        "--plan", metavar="FILE", default=None,
+        help="fault plan TOML (omit for an empty plan)",
+    )
+    recover_parser.add_argument(
+        "--seed", type=int, default=None, help="override the plan's seed"
+    )
+    recover_parser.add_argument(
+        "-n", "--nprocs", type=int, default=None, help="number of simulated ranks"
+    )
+    recover_parser.add_argument(
+        "-p", "--param", action="append", metavar="KEY=VALUE",
+        help="workload parameter override (repeatable)",
+    )
+    recover_parser.add_argument(
+        "--max-recoveries", type=int, default=2,
+        help="failure budget: shrink-and-retry at most this many times",
+    )
+    recover_parser.add_argument(
+        "--expect", metavar="OUTCOME", default=None,
+        help="exit non-zero unless the outcome matches "
+        "(survived/recovered/degraded/aborted)",
+    )
+    recover_parser.add_argument(
+        "--waits", action="store_true",
+        help="also print the timeline and recovery-attributed wait states",
+    )
+    recover_parser.add_argument(
+        "--width", type=int, default=72, help="timeline width in columns"
+    )
+    recover_parser.set_defaults(fn=_cmd_recover)
     args = parser.parse_args(argv)
     return args.fn(args)
 

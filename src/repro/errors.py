@@ -73,6 +73,30 @@ class RankCrashedError(SMPIError):
     """
 
 
+class SmpiProcFailedError(RankCrashedError):
+    """A ULFM-style process-failure error (``MPIX_ERR_PROC_FAILED``).
+
+    Raised by collectives (and point-to-point operations) whose
+    completion depends on a rank that crashed.  Subclasses
+    :class:`RankCrashedError`, so pre-ULFM fault-drill code that catches
+    the older class keeps working; new recovery code should catch this
+    one, then ``revoke()``/``shrink()``/``agree()`` its way back to a
+    working communicator (see :mod:`repro.recovery`).
+    """
+
+
+class SmpiRevokedError(SMPIError):
+    """The communicator was revoked (``MPIX_ERR_REVOKED``).
+
+    After :meth:`~repro.smpi.communicator.Comm.revoke`, every pending and
+    future operation on the communicator raises this error on every
+    member rank — the ULFM mechanism for interrupting a communication
+    pattern that a process failure has made unfinishable.  Only
+    ``shrink()``, ``agree()`` and the failure-ack calls remain usable on
+    a revoked communicator.
+    """
+
+
 class _RankSelfCrash(RankCrashedError):
     """Internal: unwinds the crashed rank's thread without aborting the
     world.  User code should not catch this; a crashed rank that keeps

@@ -35,7 +35,7 @@ from repro.faults.plan import (
     MessageSelector,
     SlowLinkFault,
 )
-from repro.faults.retry import retry_with_backoff
+from repro.faults.retry import HARD_STOP_ERRORS, retry_with_backoff
 from repro.faults.runner import (
     FaultRunReport,
     canonical_trace,
@@ -52,6 +52,7 @@ __all__ = [
     "SlowLinkFault",
     "CrashFault",
     "retry_with_backoff",
+    "HARD_STOP_ERRORS",
     "run_under_faults",
     "FaultRunReport",
     "canonical_trace",

@@ -18,9 +18,19 @@ from __future__ import annotations
 
 from typing import Any, Callable, TypeVar
 
-from repro.errors import SmpiTimeoutError, ValidationError
+from repro.errors import (
+    DeadlockError,
+    SmpiRevokedError,
+    SmpiTimeoutError,
+    ValidationError,
+)
 
 T = TypeVar("T")
+
+#: never retried, even when matched by ``retry_on``: a revoked
+#: communicator stays revoked and a deadlocked world stays aborted, so
+#: another attempt is guaranteed to fail the same way.
+HARD_STOP_ERRORS = (SmpiRevokedError, DeadlockError)
 
 
 def retry_with_backoff(
@@ -36,7 +46,13 @@ def retry_with_backoff(
     Returns the first successful result; re-raises the last exception
     after ``attempts`` failures.  Only exceptions in ``retry_on`` are
     retried — anything else (e.g. a crashed peer) propagates
-    immediately, because retrying cannot help.
+    immediately, because retrying cannot help.  Two errors are *never*
+    retried even if ``retry_on`` matches them:
+    :class:`~repro.errors.SmpiRevokedError` and
+    :class:`~repro.errors.DeadlockError` (see :data:`HARD_STOP_ERRORS`)
+    — the condition they report is permanent, so the right move is to
+    propagate into the recovery path (:mod:`repro.recovery`), not to
+    burn the remaining attempts.
     """
     if attempts < 1:
         raise ValidationError(f"attempts must be >= 1, got {attempts}")
@@ -50,6 +66,8 @@ def retry_with_backoff(
         try:
             return fn(timeout)
         except retry_on as exc:  # noqa: PERF203 - the loop IS the feature
+            if isinstance(exc, HARD_STOP_ERRORS):
+                raise
             last = exc
             timeout *= backoff
     assert last is not None

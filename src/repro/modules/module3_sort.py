@@ -225,6 +225,77 @@ def sort_activity(
     return distribution_sort(comm, local, splitters)
 
 
+def sort_recoverable(
+    comm,
+    store,
+    attempt: int,
+    *,
+    n_per_rank: int = 2000,
+    distribution: str = "uniform",
+    seed=0,
+) -> dict:
+    """Module 3 bucket sort as a recoverable body for
+    :func:`repro.recovery.run_with_recovery`.
+
+    Each rank generates its values seeded by **world rank** and
+    checkpoints them at epoch 0 (the pre-exchange cut, marked by a
+    barrier — the natural crash-drill point).  After a crash the
+    survivors redistribute the dead ranks' epoch-0 buckets round-robin,
+    agree on splitters for the *shrunken* communicator, and re-run the
+    exchange, so the sorted output still covers every element.  A rank
+    that died before checkpointing loses its (not yet shared) values;
+    the run then completes with ``complete=False`` — recovered, but
+    honest about the data loss.
+
+    A crash *during* the point-to-point exchange is not recoverable
+    here: the ``ANY_SOURCE`` receives cannot name a failed peer, so the
+    world ends in deadlock detection and the drill reports ``aborted``
+    — exactly the motivation for cutting checkpoints at collective
+    boundaries.
+    """
+    check_positive("n_per_rank", n_per_rank)
+    if distribution not in ("uniform", "exponential"):
+        raise ValidationError(f"unknown distribution {distribution!r}")
+    original = set(range(comm.world.nprocs))
+    members = set(store.ranks())
+    orphans = sorted(original - set(comm.group))
+    resume = attempt > 0 and set(comm.group) <= members
+    if not resume:
+        if distribution == "uniform":
+            local = uniform_values(
+                n_per_rank, seed=spawn_rng(seed, "sort", comm.world_rank)
+            )
+        else:
+            local = exponential_values(
+                n_per_rank, scale=1.0,
+                seed=spawn_rng(seed, "sort", comm.world_rank),
+            )
+        store.save(comm, 0, {"values": local})
+        comm.barrier()  # epoch cut: every rank's values are now adoptable
+    else:
+        local = store.rollback(comm, 0)["values"]
+        for i, wr in enumerate(orphans):
+            if i % comm.size == comm.rank and wr in members:
+                adopted = store.load(comm, 0, rank=wr)
+                local = np.concatenate([local, adopted["values"]])
+    if distribution == "uniform":
+        lo, hi = 0.0, 1.0
+    else:
+        lo = 0.0
+        hi = float(comm.allreduce(float(local.max()), op=smpi.MAX))
+    splitters = equal_width_splitters(lo, hi, comm.size)
+    result = distribution_sort(comm, local, splitters)
+    ok = verify_globally_sorted(comm, result.local_sorted)
+    total = int(comm.allreduce(int(result.local_sorted.size), op=smpi.SUM))
+    return {
+        "rank": comm.rank,
+        "sorted": bool(ok),
+        "bucket_size": int(result.local_sorted.size),
+        "total": total,
+        "complete": total == n_per_rank * comm.world.nprocs,
+    }
+
+
 def verify_globally_sorted(comm, local_sorted: np.ndarray) -> bool:
     """Check the distributed sort postcondition.
 

@@ -218,6 +218,124 @@ def kmeans_distributed(
     )
 
 
+def kmeans_recoverable(
+    comm,
+    store,
+    attempt: int,
+    *,
+    n: int = 4096,
+    k: int = 8,
+    dims: int = 2,
+    max_iter: int = 10,
+    tol: float = 1e-12,
+    seed: SeedLike = 0,
+    checkpoint_every: int = 1,
+) -> KMeansResult:
+    """Module 5 k-means as a recoverable body for
+    :func:`repro.recovery.run_with_recovery`.
+
+    Epoch 0 checkpoints each rank's scattered points plus the initial
+    centroids; every ``checkpoint_every`` iterations the (small) global
+    centroids are checkpointed again.  After a crash the survivors roll
+    back to the last globally consistent epoch, adopt the dead ranks'
+    epoch-0 points round-robin, and re-iterate — converging to the same
+    centroids (within floating-point regrouping tolerance) as the
+    fault-free run.  If a rank died *before* its first checkpoint,
+    nothing of it can be adopted, so the body falls back to a fresh
+    deterministic restart on the shrunken communicator (the full dataset
+    is regenerated from ``seed``, so no data is lost either way).
+    """
+    check_positive("checkpoint_every", checkpoint_every)
+    original = set(range(comm.world.nprocs))
+    members = set(store.ranks())
+    orphans = sorted(original - set(comm.group))
+    resume = (
+        attempt > 0
+        and set(orphans) <= members
+        and set(comm.group) <= members
+    )
+    if not resume:
+        # Fresh (re)start: rank 0 of the *current* comm generates and
+        # scatters; everyone checkpoints the epoch-0 state.
+        if comm.rank == 0:
+            full, _, _ = gaussian_mixture(n, k, dims, seed=seed)
+            chunks = partition_points(full, comm.size)
+            centroids = initial_centroids(full, k, seed=seed)
+        else:
+            chunks, centroids = None, None
+        local = comm.scatter(chunks, root=0)
+        centroids = comm.bcast(centroids, root=0)
+        store.save(
+            comm, 0,
+            {"points": local, "centroids": centroids, "iteration": 0},
+        )
+        start_iter = 0
+    else:
+        # Roll back: own points from epoch 0, dead ranks' points adopted
+        # round-robin (deterministic in the shrunken rank order), then
+        # centroids/iteration from the last globally consistent epoch.
+        epoch = store.latest_consistent_epoch(comm.group)
+        base = store.load(comm, 0)
+        local = base["points"]
+        for i, wr in enumerate(orphans):
+            if i % comm.size == comm.rank:
+                adopted = store.load(comm, 0, rank=wr)
+                local = np.concatenate([local, adopted["points"]])
+        state = store.rollback(comm, epoch)
+        centroids = state["centroids"]
+        start_iter = int(state["iteration"])
+
+    k = len(centroids)
+    n_local = len(local)
+    compute_time = 0.0
+    comm_time = 0.0
+    iterations = start_iter
+    converged = False
+
+    for it in range(start_iter, max_iter):
+        t0 = comm.wtime()
+        labels = assign_points(local, centroids)
+        sums, counts = cluster_sums(local, labels, k)
+        comm.compute(
+            flops=n_local * k * (ASSIGN_FLOPS_PER_ELEMENT * dims + 1.0),
+            nbytes=n_local * dims * 8 + k * dims * 8,
+        )
+        t1 = comm.wtime()
+        packed = np.concatenate([sums.ravel(), counts])
+        total = comm.allreduce(packed, op=smpi.SUM)
+        t2 = comm.wtime()
+        g_sums = total[: k * dims].reshape(k, dims)
+        g_counts = total[k * dims :]
+        new_centroids = update_centroids(g_sums, g_counts, centroids)
+        shift = float(np.abs(new_centroids - centroids).max())
+        centroids = new_centroids
+        iterations = it + 1
+        compute_time += t1 - t0
+        comm_time += t2 - t1
+        if (it + 1) % checkpoint_every == 0:
+            store.save(
+                comm, it + 1,
+                {"centroids": centroids, "iteration": it + 1},
+            )
+        if shift <= tol:
+            converged = True
+            break
+
+    labels = assign_points(local, centroids)
+    local_sse = float(((local - centroids[labels]) ** 2).sum())
+    inertia = comm.allreduce(local_sse, op=smpi.SUM)
+    return KMeansResult(
+        centroids=centroids,
+        local_labels=labels,
+        iterations=iterations,
+        converged=converged,
+        inertia=inertia,
+        compute_time=compute_time,
+        comm_time=comm_time,
+        method="weighted",
+    )
+
+
 def communication_volume_per_iteration(
     n: int, p: int, k: int, dims: int, method: str
 ) -> float:

@@ -12,7 +12,11 @@ Three analysis passes, each returning structured dataclasses:
   innocent peer: ``fault_delay`` (the wait on a message a
   delay/straggler-link fault slowed down — identified by the fault
   trace event sharing the message's ``msg_id``) and ``fault_timeout``
-  (a ``timeout=`` receive that expired).
+  (a ``timeout=`` receive that expired).  Recovery drills
+  (:mod:`repro.recovery`) add ``recovery_sync``: time spent inside a
+  ``shrink``/``agree`` rendezvous waiting for the other survivors, so
+  the price of recovering is attributed separately from ordinary
+  collective synchronization.
 * :func:`critical_path` — the chain of events that determines the
   virtual makespan, extracted by walking the send/recv/collective
   dependency graph backwards from the last event.  By construction its
@@ -113,7 +117,7 @@ class WaitInterval:
 
     rank: int
     # "late_sender" | "late_receiver" | "collective_sync"
-    #  | "fault_delay" | "fault_timeout"
+    #  | "fault_delay" | "fault_timeout" | "recovery_sync"
     kind: str
     primitive: str
     peer: int  # causing rank (world rank), or -1 for collectives
@@ -171,6 +175,27 @@ def _collective_calls(
     per_rank: dict[tuple[int, int], list[TraceEvent]] = defaultdict(list)
     for e in events:
         if e.category == "collective":
+            per_rank[(e.cid, e.rank)].append(e)
+    calls: dict[tuple[int, int], list[TraceEvent]] = defaultdict(list)
+    for (cid, _rank), seq in per_rank.items():
+        seq.sort(key=lambda e: (e.t_start, e.t_end))
+        for k, e in enumerate(seq):
+            calls[(cid, k)].append(e)
+    return [group for _key, group in sorted(calls.items())]
+
+
+#: recovery primitives that rendezvous like collectives (over survivors)
+_RECOVERY_SYNC_PRIMITIVES = frozenset({"MPIX_Comm_shrink", "MPIX_Comm_agree"})
+
+
+def _recovery_calls(events: list[TraceEvent]) -> list[list[TraceEvent]]:
+    """Group shrink/agree events into per-call groups, like
+    :func:`_collective_calls` — the *k*-th survival rendezvous a rank
+    records on a communicator belongs to that communicator's *k*-th
+    shrink/agree call."""
+    per_rank: dict[tuple[int, int], list[TraceEvent]] = defaultdict(list)
+    for e in events:
+        if e.category == "recovery" and e.primitive in _RECOVERY_SYNC_PRIMITIVES:
             per_rank[(e.cid, e.rank)].append(e)
     calls: dict[tuple[int, int], list[TraceEvent]] = defaultdict(list)
     for (cid, _rank), seq in per_rank.items():
@@ -254,6 +279,21 @@ def analyze_wait_states(
                 report.intervals.append(
                     WaitInterval(
                         rank=e.rank, kind="collective_sync",
+                        primitive=e.primitive, peer=-1,
+                        t_start=e.t_start, t_end=min(start, e.t_end),
+                        cid=e.cid,
+                    )
+                )
+    # Recovery synchronization: shrink/agree rendezvous over the
+    # survivors — a rank's span from entry to the last survivor's entry
+    # is the waiting cost of recovering, attributed to its own pattern.
+    for group in _recovery_calls(events):
+        start = max(e.t_start for e in group)
+        for e in group:
+            if start > e.t_start + _EPS:
+                report.intervals.append(
+                    WaitInterval(
+                        rank=e.rank, kind="recovery_sync",
                         primitive=e.primitive, peer=-1,
                         t_start=e.t_start, t_end=min(start, e.t_end),
                         cid=e.cid,

@@ -47,7 +47,7 @@ def render_wait_states(report: WaitStateReport, title: str = "Wait states") -> s
         by_rank[w.rank][w.kind] += w.time
     table = TextTable(
         ["Rank", "Late sender (s)", "Late receiver (s)", "Collective sync (s)",
-         "Fault (s)", "Total (s)"],
+         "Fault (s)", "Recovery (s)", "Total (s)"],
         title=title,
     )
     for rank in sorted(by_rank):
@@ -59,6 +59,7 @@ def render_wait_states(report: WaitStateReport, title: str = "Wait states") -> s
                 kinds.get("late_receiver", 0.0),
                 kinds.get("collective_sync", 0.0),
                 kinds.get("fault_delay", 0.0) + kinds.get("fault_timeout", 0.0),
+                kinds.get("recovery_sync", 0.0),
                 sum(kinds.values()),
             ]
         )

@@ -1,0 +1,206 @@
+"""Run workloads that survive rank crashes: catch → revoke → shrink → agree.
+
+:func:`run_with_recovery` is the fault-drill harness for Module 8
+part 2.  A *recoverable body* is a rank function with the signature
+``body(comm, store, attempt, **params)``: on ``attempt == 0`` it runs
+fresh (and checkpoints as it goes); on later attempts it decides —
+deterministically, from the store's contents — whether to roll back to
+the last globally consistent checkpoint epoch and adopt the dead ranks'
+state, or to restart fresh on the shrunken communicator.
+
+The recovery protocol around the body is the canonical ULFM loop::
+
+    try:
+        return body(comm, store, attempt, **params)
+    except proc-failure or revoked:
+        comm.revoke()          # interrupt everyone's pending operations
+        comm.failure_ack()     # acknowledge the failed ranks
+        comm = comm.shrink()   # survivors build a smaller communicator
+        comm.agree(True)       # consensus: everyone is here, go again
+
+Outcomes extend the ``repro.faults`` triple with ``recovered``:
+completed *after* at least one shrink.  ``degraded`` now means faults
+fired but no recovery was needed; ``aborted`` still means the world
+died (e.g. the failure budget ``max_recoveries`` was exhausted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro import smpi
+from repro.errors import (
+    RankCrashedError,
+    SmpiRevokedError,
+    ValidationError,
+    _RankSelfCrash,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.runner import trace_digest
+from repro.recovery.checkpoint import CheckpointStore
+
+RECOVERY_OUTCOMES = ("survived", "recovered", "degraded", "aborted")
+
+
+@dataclass
+class RecoveryReport:
+    """Everything ``repro recover`` reports about one recovery drill."""
+
+    workload: str
+    nprocs: int
+    outcome: str  # one of RECOVERY_OUTCOMES
+    makespan: float
+    digest: str
+    error: Optional[str] = None
+    fault_events: dict[str, int] = field(default_factory=dict)
+    crashed_ranks: tuple[int, ...] = ()
+    revokes: int = 0
+    shrinks: int = 0
+    rollbacks: int = 0
+    checkpoints: int = 0
+    rollback_time: float = 0.0
+    lineage: str = ""
+    result: Any = None
+
+    def lines(self) -> list[str]:
+        """Render for the CLI (matches the ``repro faults`` style)."""
+        out = [
+            f"workload:  {self.workload} (np={self.nprocs})",
+            f"outcome:   {self.outcome}",
+            f"makespan:  {self.makespan:.6g} virtual s",
+        ]
+        if self.fault_events:
+            injected = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.fault_events.items())
+            )
+            out.append(f"faults:    {injected}")
+        else:
+            out.append("faults:    none injected")
+        if self.crashed_ranks:
+            out.append(f"crashed:   ranks {list(self.crashed_ranks)}")
+        out.append(
+            f"recovery:  revokes={self.revokes} shrinks={self.shrinks} "
+            f"rollbacks={self.rollbacks} checkpoints={self.checkpoints}"
+        )
+        out.append(
+            f"rollback:  {self.rollback_time:.6g} virtual s of lost work"
+        )
+        if self.error is not None:
+            out.append(f"error:     {self.error}")
+        out.append(f"trace:     sha256:{self.digest[:16]}…")
+        out.append(f"lineage:   blake2b:{self.lineage[:16]}…")
+        return out
+
+
+@dataclass
+class RecoveryRun:
+    """A :class:`RecoveryReport` plus the raw run and checkpoint store."""
+
+    report: RecoveryReport
+    run: "smpi.RunResult"
+    store: CheckpointStore
+
+
+def _recovering_main(
+    comm: Any,
+    store: CheckpointStore,
+    body: Callable[..., Any],
+    max_recoveries: int,
+    params: dict[str, Any],
+) -> Any:
+    """Per-rank recovery loop wrapped around a recoverable body."""
+    comm.set_errhandler(smpi.ERRORS_RETURN)
+    for attempt in range(max_recoveries + 1):
+        try:
+            return body(comm, store, attempt, **params)
+        except (RankCrashedError, SmpiRevokedError) as exc:
+            if isinstance(exc, _RankSelfCrash):
+                raise  # this rank IS the casualty; nothing to recover
+            if attempt == max_recoveries:
+                raise
+            comm.revoke()
+            comm.failure_ack()
+            comm = comm.shrink()
+            comm.set_errhandler(smpi.ERRORS_RETURN)
+            # Consensus barrier: every survivor is on the new comm and
+            # agrees to re-execute before anyone touches the store again.
+            comm.agree(True)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def run_with_recovery(
+    body: Callable[..., Any],
+    nprocs: int,
+    *,
+    faults: Optional[FaultPlan] = None,
+    store: Optional[CheckpointStore] = None,
+    max_recoveries: int = 2,
+    name: str = "custom",
+    **params: Any,
+) -> RecoveryRun:
+    """Run a recoverable body on ``nprocs`` ranks under a fault plan.
+
+    Never raises for workload failures: like
+    :func:`repro.faults.run_under_faults`, an aborting run is classified
+    ``aborted`` with the world attached for post-mortem analysis.
+    """
+    if max_recoveries < 0:
+        raise ValidationError(
+            f"max_recoveries must be >= 0, got {max_recoveries}"
+        )
+    if store is None:
+        store = CheckpointStore()
+    out = smpi.launch(
+        nprocs,
+        _recovering_main,
+        store,
+        body,
+        max_recoveries,
+        params,
+        faults=faults,
+        check=False,
+    )
+    world = out.world
+    events = world.tracer.events
+    fault_events: dict[str, int] = {}
+    revokes = 0
+    shrinks = 0
+    for e in events:
+        if e.category == "fault":
+            fault_events[e.primitive] = fault_events.get(e.primitive, 0) + 1
+        elif e.category == "recovery":
+            if e.primitive == "MPIX_Comm_revoke":
+                revokes += 1
+            elif e.primitive == "MPIX_Comm_shrink":
+                shrinks += 1
+    if out.error is not None:
+        outcome = "aborted"
+        error = f"{type(out.error).__name__}: {out.error}"
+    elif shrinks > 0:
+        outcome = "recovered"
+        error = None
+    elif fault_events:
+        outcome = "degraded"
+        error = None
+    else:
+        outcome = "survived"
+        error = None
+    report = RecoveryReport(
+        workload=name,
+        nprocs=nprocs,
+        outcome=outcome,
+        makespan=world.elapsed(),
+        digest=trace_digest(events, nprocs),
+        error=error,
+        fault_events=fault_events,
+        crashed_ranks=tuple(sorted(world.crashed)),
+        revokes=revokes,
+        shrinks=shrinks,
+        rollbacks=store.rollbacks,
+        checkpoints=store.saves,
+        rollback_time=store.rollback_time,
+        lineage=store.lineage_digest(),
+        result=None if out.error is not None else out.results,
+    )
+    return RecoveryRun(report=report, run=out, store=store)

@@ -1,0 +1,89 @@
+"""Named recoverable workloads for the ``repro recover`` CLI.
+
+The recovery counterpart of :mod:`repro.obs.workloads`: each entry binds
+one recoverable body (signature ``body(comm, store, attempt, **params)``)
+to a name, so the CLI and the recovery drills can run any of them under
+a crash plan::
+
+    from repro.recovery.workloads import run_recoverable
+    run = run_recoverable("kmeans", plan, nprocs=4)
+    run.report.outcome      # "recovered"
+
+Module imports happen inside the accessor for the same reason they do in
+:mod:`repro.obs.workloads`: the module solutions import :mod:`repro.smpi`,
+which imports :mod:`repro.obs` — keep this layer import-light.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import ValidationError
+from repro.faults.plan import FaultPlan
+from repro.recovery.harness import RecoveryRun, run_with_recovery
+
+
+@dataclass(frozen=True)
+class RecoverableWorkload:
+    """One named recoverable workload."""
+
+    name: str
+    module: str
+    description: str
+    default_nprocs: int
+    body: Callable[[], Callable[..., Any]]  # lazy body accessor
+
+
+def _kmeans_body() -> Callable[..., Any]:
+    from repro.modules.module5_kmeans import kmeans_recoverable
+
+    return kmeans_recoverable
+
+
+def _sort_body() -> Callable[..., Any]:
+    from repro.modules.module3_sort import sort_recoverable
+
+    return sort_recoverable
+
+
+RECOVERABLE: dict[str, RecoverableWorkload] = {
+    w.name: w
+    for w in (
+        RecoverableWorkload(
+            "kmeans", "module5",
+            "k-means with centroid checkpoints + point adoption",
+            4, _kmeans_body,
+        ),
+        RecoverableWorkload(
+            "sort", "module3",
+            "bucket sort with pre-exchange value checkpoints",
+            4, _sort_body,
+        ),
+    )
+}
+
+
+def run_recoverable(
+    name: str,
+    plan: Optional[FaultPlan] = None,
+    nprocs: Optional[int] = None,
+    *,
+    max_recoveries: int = 2,
+    **params: Any,
+) -> RecoveryRun:
+    """Run a named recoverable workload under a fault plan."""
+    try:
+        workload = RECOVERABLE[name]
+    except KeyError:
+        known = ", ".join(sorted(RECOVERABLE))
+        raise ValidationError(
+            f"unknown recoverable workload {name!r}; known: {known}"
+        ) from None
+    n = workload.default_nprocs if nprocs is None else nprocs
+    if n < 1:
+        raise ValidationError(f"nprocs must be >= 1, got {n}")
+    return run_with_recovery(
+        workload.body(), n, faults=plan, max_recoveries=max_recoveries,
+        name=name, **params,
+    )

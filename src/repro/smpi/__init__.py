@@ -24,6 +24,8 @@ from repro.errors import (
     InvalidTagError,
     RankCrashedError,
     SMPIError,
+    SmpiProcFailedError,
+    SmpiRevokedError,
     SmpiTimeoutError,
     TruncationError,
 )
@@ -99,6 +101,8 @@ __all__ = [
     "CommAbortError",
     "SmpiTimeoutError",
     "RankCrashedError",
+    "SmpiProcFailedError",
+    "SmpiRevokedError",
     "ERRORS_ARE_FATAL",
     "ERRORS_RETURN",
 ]

@@ -20,8 +20,9 @@ from repro.errors import (
     CommAbortError,
     InvalidRankError,
     InvalidTagError,
-    RankCrashedError,
     SMPIError,
+    SmpiProcFailedError,
+    SmpiRevokedError,
     SmpiTimeoutError,
     TruncationError,
 )
@@ -60,6 +61,7 @@ class Comm:
         self._clock = world.clocks[self._world_rank]
         self._split_count = 0
         self._errhandler = ERRORS_ARE_FATAL
+        self._acked: frozenset[int] = frozenset()  # acknowledged failed world ranks
 
     # -- identity ----------------------------------------------------------
 
@@ -72,6 +74,22 @@ class Comm:
     def size(self) -> int:
         """Number of ranks in the communicator."""
         return len(self.group)
+
+    @property
+    def world_rank(self) -> int:
+        """This process's rank in the world communicator.
+
+        Stable across :meth:`shrink` and :meth:`split` — which is what a
+        checkpoint store keys on, so a rank can find its own state again
+        after recovery renumbers the communicator.
+        """
+        return self._world_rank
+
+    @property
+    def is_revoked(self) -> bool:
+        """True once :meth:`revoke` has been called on this communicator
+        (by any member rank)."""
+        return self.cid in self.world.revoked_cids
 
     def Get_rank(self) -> int:
         return self._rank
@@ -159,6 +177,16 @@ class Comm:
         if inj is not None:
             inj.maybe_crash(self.world, self._world_rank, self._clock.now)
 
+    def _check_revoked(self, what: str) -> None:
+        """Raise :class:`~repro.errors.SmpiRevokedError` if this
+        communicator has been revoked (ULFM: only ``shrink``/``agree``/
+        failure-ack remain usable).  ``revoked_cids`` only ever grows, so
+        the unlocked emptiness check is a safe zero-cost fast path."""
+        if self.world.revoked_cids and self.cid in self.world.revoked_cids:
+            raise SmpiRevokedError(
+                f"{what}: communicator {self.cid} has been revoked"
+            )
+
     def _peer_error(self, exc: SMPIError, origin: str) -> NoReturn:
         """Dispatch a crashed-peer error through this communicator's
         error handler.  Caller must NOT hold the world lock."""
@@ -187,7 +215,7 @@ class Comm:
         def failure() -> Optional[BaseException]:
             if world_peer not in self.world.crashed:
                 return None
-            exc = RankCrashedError(
+            exc = SmpiProcFailedError(
                 f"{what}: rank {self._inverse.get(world_peer, world_peer)} "
                 f"(world rank {world_peer}) crashed"
             )
@@ -216,7 +244,7 @@ class Comm:
             ]
             if not missing:
                 return None
-            exc = RankCrashedError(
+            exc = SmpiProcFailedError(
                 f"{primitive}: rank(s) {missing} crashed before entering "
                 f"the collective"
             )
@@ -271,6 +299,7 @@ class Comm:
         world_dst = self._check_peer("dest", dest)
         tag = self._check_send_tag(tag)
         self._maybe_crash()
+        self._check_revoked(primitive)
         src = self._world_rank
         nbytes = payload_nbytes(obj)
         payload = copy_payload(obj)
@@ -281,7 +310,7 @@ class Comm:
         if inj is not None:
             if world_dst in self.world.crashed:
                 self._peer_error(
-                    RankCrashedError(
+                    SmpiProcFailedError(
                         f"{primitive}(dest={dest}): destination rank crashed"
                     ),
                     f"rank {self._rank} sent to a crashed rank",
@@ -376,6 +405,7 @@ class Comm:
                 failure=self._crashed_peer_failure(
                     world_dst, f"{primitive}(dest={dest})"
                 ),
+                cid=self.cid,
             )
         self._clock.advance_to(env.completion_time)
         self.world.tracer.record(
@@ -405,6 +435,7 @@ class Comm:
         world_src = self._check_source(source)
         tag = self._check_recv_tag(tag)
         self._maybe_crash()
+        self._check_revoked("MPI_Recv")
         me = self._world_rank
         t_post = self._clock.now
         deadline = None if timeout is None else t_post + timeout
@@ -430,10 +461,15 @@ class Comm:
                         description=f"{what} waiting for a message",
                         failure=self._crashed_peer_failure(world_src, what),
                         deadline=deadline,
+                        cid=self.cid,
                     )
                 except SmpiTimeoutError:
                     queues.cancel(pr)
                     self._abandon_timeout(t_post, deadline, what)
+                except SmpiRevokedError:
+                    # Leave no dangling posted receive on the dead comm.
+                    queues.cancel(pr)
+                    raise
             completion = self._complete_match_locked(env)
             if deadline is not None and completion > deadline:
                 # Matched, but the payload lands after the deadline: put
@@ -480,6 +516,7 @@ class Comm:
         world_src = self._check_source(source)
         tag = self._check_recv_tag(tag)
         self._maybe_crash()
+        self._check_revoked("MPI_Irecv")
         me = self._world_rank
         req = Request(self, "irecv")
         req._post_time = self._clock.now  # type: ignore[attr-defined]
@@ -515,6 +552,7 @@ class Comm:
 
     def _wait_request(self, req: Request, timeout: Optional[float] = None) -> None:
         self._maybe_crash()
+        self._check_revoked("MPI_Wait")
         me = self._world_rank
         t_wait = self._clock.now
         deadline = None if timeout is None else t_wait + timeout
@@ -541,6 +579,7 @@ class Comm:
                             env.dest, f"MPI_Wait(isend tag={env.tag})"
                         ),
                         deadline=deadline,
+                        cid=env.comm_cid,
                     )
                 except SmpiTimeoutError:
                     # The request stays pending; a later wait may complete it.
@@ -570,6 +609,7 @@ class Comm:
                             pr.source, "MPI_Wait(irecv)"
                         ),
                         deadline=deadline,
+                        cid=pr.comm_cid,
                     )
                 except SmpiTimeoutError:
                     # The posted receive stays live; retry with wait() later.
@@ -631,6 +671,7 @@ class Comm:
         world_src = self._check_source(source)
         tag = self._check_recv_tag(tag)
         self._maybe_crash()
+        self._check_revoked("MPI_Probe")
         me = self._world_rank
         t0 = self._clock.now
         what = (
@@ -648,6 +689,7 @@ class Comm:
                 is not None,
                 description=f"{what} waiting for a message",
                 failure=self._crashed_peer_failure(world_src, what),
+                cid=self.cid,
             )
         if not env.rendezvous and env.arrival_time is not None:
             self._clock.advance_to(env.arrival_time)
@@ -667,6 +709,7 @@ class Comm:
         """Non-blocking probe; True when a matching message is queued."""
         world_src = self._check_source(source)
         tag = self._check_recv_tag(tag)
+        self._check_revoked("MPI_Iprobe")
         me = self._world_rank
         with self.world.lock:
             self.world.check_abort_locked()
@@ -720,6 +763,7 @@ class Comm:
         if not 0 <= root < self.size:
             raise InvalidRankError(f"root={root} out of range for size {self.size}")
         self._maybe_crash()
+        self._check_revoked(spec.primitive)
         me = self._world_rank
         t0 = self._clock.now
         with self.world.lock:
@@ -743,6 +787,7 @@ class Comm:
                 description=f"{spec.primitive} (collective call #{index}) "
                 f"waiting for all ranks to enter",
                 failure=self._collective_crash_failure(ctx, spec.primitive),
+                cid=self.cid,
             )
             result = ctx.results[self._rank]
             completion = ctx.completions[self._rank]
@@ -804,6 +849,142 @@ class Comm:
     def exscan(self, sendobj: Any, op: Op = dt.SUM) -> Any:
         """Exclusive prefix reduction (rank 0 returns ``None``)."""
         return self._collective("exscan", sendobj, op=op)
+
+    # -- ULFM-style fault tolerance ----------------------------------------------
+
+    def revoke(self) -> None:
+        """Revoke the communicator (``MPIX_Comm_revoke``).
+
+        Local call with global effect: every pending and future operation
+        on this communicator — on *every* member rank — raises
+        :class:`~repro.errors.SmpiRevokedError`, and undelivered messages
+        on it are purged.  This is how a rank that detects a process
+        failure interrupts communication patterns (e.g. a ring of
+        receives) that the failure has made unfinishable.  Idempotent.
+        Only :meth:`shrink`, :meth:`agree` and the failure-ack calls
+        remain usable afterwards.
+        """
+        self._maybe_crash()
+        me = self._world_rank
+        first = self.world.revoke_cid(self.cid)
+        now = self._clock.now
+        self.world.tracer.record(
+            me, "recovery", "MPIX_Comm_revoke", 0, now, now, cid=self.cid
+        )
+        self.world.metrics.counter("smpi.recovery.revoke_calls", rank=me).inc()
+        if first:
+            self.world.metrics.counter("smpi.recovery.revoked_comms").inc()
+
+    def shrink(self) -> "Comm":
+        """Build a new communicator from the surviving ranks
+        (``MPIX_Comm_shrink``).
+
+        Works on a revoked communicator — that is its whole point.  All
+        surviving members must call it; crashed members are excluded and
+        the survivors are re-numbered ``0..n_survivors-1`` in their old
+        rank order.  The new communicator has fresh matching queues and
+        collective state and inherits this one's error handler.
+        """
+        self._maybe_crash()
+        me = self._world_rank
+        t0 = self._clock.now
+        world = self.world
+        with world.lock:
+            world.check_abort_locked()
+            ctx = world.ft_table(self.cid).context_for(self._rank, "shrink")
+            ctx.join(self._rank, None, t0)
+            world.block(
+                me,
+                take=lambda: world.ft_poll_locked(ctx),
+                can_proceed=lambda: ctx.done or ctx.ready(world.live),
+                description=(
+                    f"MPIX_Comm_shrink(cid={self.cid}) waiting for survivors"
+                ),
+            )
+            new_cid = ctx.new_cid
+            new_rank = ctx.survivors.index(self._rank)
+            completion = ctx.completion
+        self._clock.advance_to(max(self._clock.now, completion))
+        world.tracer.record(
+            me, "recovery", "MPIX_Comm_shrink", 0, t0, self._clock.now,
+            cid=self.cid,
+        )
+        world.metrics.counter("smpi.recovery.shrinks", rank=me).inc()
+        new_comm = Comm(world, new_cid, new_rank)
+        new_comm._errhandler = self._errhandler
+        return new_comm
+
+    def agree(self, flag: bool = True) -> bool:
+        """Fault-tolerant consensus over surviving ranks
+        (``MPIX_Comm_agree``).
+
+        Returns the logical AND of every survivor's ``flag``.  If a
+        member rank failed and this rank has not acknowledged the failure
+        via :meth:`failure_ack`, the agreement still completes but raises
+        :class:`~repro.errors.SmpiProcFailedError` — ULFM's way of
+        guaranteeing no failure goes unnoticed across an agreement.
+        Works on a revoked communicator.
+        """
+        self._maybe_crash()
+        me = self._world_rank
+        t0 = self._clock.now
+        world = self.world
+        with world.lock:
+            world.check_abort_locked()
+            ctx = world.ft_table(self.cid).context_for(self._rank, "agree")
+            ctx.join(self._rank, bool(flag), t0)
+            world.block(
+                me,
+                take=lambda: world.ft_poll_locked(ctx),
+                can_proceed=lambda: ctx.done or ctx.ready(world.live),
+                description=(
+                    f"MPIX_Comm_agree(cid={self.cid}) waiting for survivors"
+                ),
+            )
+            result = bool(ctx.result)
+            completion = ctx.completion
+            unacked = sorted(
+                wr
+                for wr in self.group
+                if wr in world.crashed and wr not in self._acked
+            )
+        self._clock.advance_to(max(self._clock.now, completion))
+        world.tracer.record(
+            me, "recovery", "MPIX_Comm_agree", 0, t0, self._clock.now,
+            cid=self.cid,
+        )
+        world.metrics.counter("smpi.recovery.agrees", rank=me).inc()
+        if unacked:
+            raise SmpiProcFailedError(
+                f"MPIX_Comm_agree: unacknowledged process failure(s) at "
+                f"world rank(s) {unacked}; call failure_ack() first"
+            )
+        return result
+
+    def failure_ack(self) -> list[int]:
+        """Acknowledge every currently-known failed member
+        (``MPIX_Comm_failure_ack``); returns their communicator ranks.
+
+        After acknowledging, :meth:`agree` stops raising for those
+        failures and ``ANY_SOURCE`` semantics would treat them as
+        excluded on a real ULFM MPI.
+        """
+        self._maybe_crash()
+        me = self._world_rank
+        with self.world.lock:
+            self._acked = frozenset(
+                wr for wr in self.group if wr in self.world.crashed
+            )
+        now = self._clock.now
+        self.world.tracer.record(
+            me, "recovery", "MPIX_Comm_failure_ack", 0, now, now, cid=self.cid
+        )
+        return sorted(self._inverse[wr] for wr in self._acked)
+
+    def failure_get_acked(self) -> list[int]:
+        """Communicator ranks whose failure this rank has acknowledged
+        (``MPIX_Comm_failure_get_acked``)."""
+        return sorted(self._inverse[wr] for wr in self._acked)
 
     # -- communicator management -------------------------------------------------
 

@@ -34,12 +34,14 @@ from repro.errors import (
     CommAbortError,
     DeadlockError,
     SMPIError,
+    SmpiRevokedError,
     SmpiTimeoutError,
     _RankSelfCrash,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.smpi.clock import VirtualClock
 from repro.smpi.collectives import CollectiveTable, NetParams
+from repro.smpi.ft import FtContext, FtTable
 from repro.smpi.message import Envelope, MatchingQueues, PostedRecv
 from repro.smpi.trace import Tracer
 
@@ -69,6 +71,7 @@ class _BlockInfo:
     can_proceed: Callable[[], bool]
     deadline: Optional[float] = None
     failure: Optional[Callable[[], Optional[BaseException]]] = None
+    cid: Optional[int] = None
     timed_out: bool = field(default=False, compare=False)
 
 
@@ -135,6 +138,12 @@ class World:
         self._comm_groups: dict[int, tuple[int, ...]] = {}
         self._next_cid = 0
         self._split_cids: dict[tuple, int] = {}
+
+        # ULFM-style recovery state: revoked communicator ids (grow-only,
+        # so lock-free membership reads are safe) and per-cid tables of
+        # shrink/agree rendezvous contexts.
+        self.revoked_cids: set[int] = set()
+        self._ft_tables: dict[int, FtTable] = {}
 
     # -- communicator/group registry ------------------------------------
 
@@ -217,6 +226,7 @@ class World:
         description: str,
         failure: Optional[Callable[[], Optional[BaseException]]] = None,
         deadline: Optional[float] = None,
+        cid: Optional[int] = None,
     ) -> Any:
         """Block ``rank`` until ``take()`` returns non-None.
 
@@ -232,8 +242,16 @@ class World:
         the world stalls and this waiter holds the earliest deadline, the
         block raises :class:`~repro.errors.SmpiTimeoutError` instead of
         the world declaring deadlock.
+        ``cid`` (optional) ties the block to a communicator: if that
+        communicator is revoked, the block raises
+        :class:`~repro.errors.SmpiRevokedError`.  The check runs *after*
+        ``take`` and ``failure`` so it is deterministic: an operation
+        whose completion (or whose peer's crash) was already established
+        in virtual time resolves the same way no matter how the
+        revocation races with this rank's wake-up — revocation only
+        poisons waits that cannot otherwise resolve.
         """
-        info = _BlockInfo(description, can_proceed, deadline, failure)
+        info = _BlockInfo(description, can_proceed, deadline, failure, cid)
         while True:
             self.check_abort_locked()
             result = take()
@@ -243,6 +261,10 @@ class World:
                 exc = failure()
                 if exc is not None:
                     raise exc
+            if cid is not None and cid in self.revoked_cids:
+                raise SmpiRevokedError(
+                    f"{description}: communicator {cid} has been revoked"
+                )
             if info.timed_out:
                 raise SmpiTimeoutError(
                     f"{description} timed out after {deadline:.6g} virtual s"
@@ -295,6 +317,15 @@ class World:
         if any(info.timed_out for info in self.blocked.values()):
             self.cond.notify_all()
             return
+        # 4) a waiter blocked on a revoked communicator will raise
+        #    SmpiRevokedError on its next wake-up — wake it rather than
+        #    declaring the stall a deadlock.
+        if self.revoked_cids and any(
+            info.cid is not None and info.cid in self.revoked_cids
+            for info in self.blocked.values()
+        ):
+            self.cond.notify_all()
+            return
         lines = [
             f"  rank {rank}: {info.description}"
             for rank, info in sorted(self.blocked.items())
@@ -344,6 +375,48 @@ class World:
             self.live.discard(rank)
             self._deadlock_check_locked()
             self.cond.notify_all()
+
+    # -- ULFM-style recovery ----------------------------------------------
+
+    def revoke_cid(self, cid: int) -> bool:
+        """Revoke a communicator; returns True if this call revoked it.
+
+        Revocation is world-global and immediate: unexpected messages on
+        the communicator are purged, and every rank blocked (or later
+        blocking) on it raises :class:`~repro.errors.SmpiRevokedError`.
+        """
+        with self.lock:
+            if cid in self.revoked_cids:
+                return False
+            self.revoked_cids.add(cid)
+            for q in self.queues:
+                q.unexpected = [
+                    env for env in q.unexpected if env.comm_cid != cid
+                ]
+            self.cond.notify_all()
+            return True
+
+    def ft_table(self, cid: int) -> FtTable:
+        """Per-communicator shrink/agree table (caller holds the lock)."""
+        table = self._ft_tables.get(cid)
+        if table is None:
+            table = FtTable(self._comm_groups[cid])
+            self._ft_tables[cid] = table
+        return table
+
+    def ft_poll_locked(self, ctx: FtContext) -> Optional[bool]:
+        """``take`` probe for a rank blocked in shrink/agree.
+
+        The first waker that observes the rendezvous ready finalizes it
+        for everyone (survivor list, result/new cid, completion time).
+        """
+        if not ctx.done and ctx.ready(self.live):
+            alpha = self.net_params(
+                [ctx.group[r] for r in sorted(ctx.contribs)]
+            ).alpha
+            ctx.finalize(alpha, self._register_group_locked)
+            self.cond.notify_all()
+        return True if ctx.done else None
 
     # -- point-to-point internals -----------------------------------------
 

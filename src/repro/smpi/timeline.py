@@ -3,7 +3,8 @@
 The visual counterpart of Module 5's compute/communication breakdown:
 one lane per rank, virtual time on the x-axis, glyphs by category —
 ``#`` compute, ``~`` point-to-point, ``=`` collective, ``!`` fault
-(injected by :mod:`repro.faults`), ``.`` idle (time with no recorded
+(injected by :mod:`repro.faults`), ``R`` recovery (revoke/shrink/agree/
+checkpoint, :mod:`repro.recovery`), ``.`` idle (time with no recorded
 activity, usually waiting inside a later-recorded blocking call's
 span).
 """
@@ -15,7 +16,13 @@ from typing import Optional, Sequence
 from repro.errors import ValidationError
 from repro.smpi.trace import Tracer
 
-_GLYPHS = {"compute": "#", "p2p": "~", "collective": "=", "fault": "!"}
+_GLYPHS = {
+    "compute": "#",
+    "p2p": "~",
+    "collective": "=",
+    "fault": "!",
+    "recovery": "R",
+}
 
 
 def render_timeline(
@@ -28,8 +35,8 @@ def render_timeline(
     """Render one lane per rank over ``[0, t_end]`` virtual seconds.
 
     When several events overlap a cell, the busier category wins in the
-    order fault > collective > p2p > compute (faults and waits dominate
-    visually, as they dominate attention).
+    order recovery > fault > collective > p2p > compute (faults and
+    recovery dominate visually, as they dominate attention).
     """
     events = tracer.events
     if not events:
@@ -39,7 +46,9 @@ def render_timeline(
     horizon = t_end if t_end is not None else max(e.t_end for e in events)
     if horizon <= 0:
         raise ValidationError("timeline horizon must be positive")
-    priority = {"compute": 0, "p2p": 1, "collective": 2, "fault": 3}
+    priority = {
+        "compute": 0, "p2p": 1, "collective": 2, "fault": 3, "recovery": 4,
+    }
     lines = []
     for rank in ranks:
         cells = [" "] * width
@@ -59,5 +68,8 @@ def render_timeline(
     header = (
         f"{'':>9}0{' ' * (width - len(f'{horizon:.3g}') - 1)}{horizon:.3g}s"
     )
-    legend = "          # compute   ~ point-to-point   = collective   ! fault"
+    legend = (
+        "          # compute   ~ point-to-point   = collective   ! fault"
+        "   R recovery"
+    )
     return "\n".join([header] + lines + [legend])

@@ -4,11 +4,12 @@ import numpy as np
 import pytest
 
 from repro import smpi
-from repro.faults import FaultPlan, retry_with_backoff
+from repro.faults import HARD_STOP_ERRORS, FaultPlan, retry_with_backoff
 from repro.errors import (
     DeadlockError,
     RankCrashedError,
     SMPIError,
+    SmpiRevokedError,
     SmpiTimeoutError,
     ValidationError,
 )
@@ -307,3 +308,66 @@ class TestRetryHelper:
             retry_with_backoff(lambda t: t, base_timeout=0.0)
         with pytest.raises(ValidationError):
             retry_with_backoff(lambda t: t, backoff=0.5)
+
+    def test_custom_retry_on_is_honoured(self):
+        """Errors named in ``retry_on`` are retried even when they are
+        not timeouts."""
+        calls = []
+
+        def fn(timeout):
+            calls.append(timeout)
+            if len(calls) < 2:
+                raise RankCrashedError("transient in this drill")
+            return "ok"
+
+        got = retry_with_backoff(
+            fn, attempts=3, base_timeout=1.0,
+            retry_on=(RankCrashedError,),
+        )
+        assert got == "ok"
+        assert calls == [1.0, 2.0]
+
+    @pytest.mark.parametrize(
+        "exc", [SmpiRevokedError("comm 0 revoked"), DeadlockError("stuck")]
+    )
+    def test_hard_stop_errors_never_retry(self, exc):
+        """A revoked communicator or an aborted (deadlocked) world is
+        permanent: even an explicit ``retry_on`` match must not burn
+        further attempts — the error propagates on the first hit."""
+        calls = []
+
+        def fn(timeout):
+            calls.append(timeout)
+            raise exc
+
+        with pytest.raises(type(exc)):
+            retry_with_backoff(
+                fn, attempts=5, retry_on=(type(exc), SmpiTimeoutError)
+            )
+        assert len(calls) == 1
+        assert isinstance(exc, HARD_STOP_ERRORS)
+
+    def test_hard_stop_from_inside_a_run(self):
+        """End to end: a retry loop wrapped around a recv on a revoked
+        communicator gives up immediately instead of re-arming timeouts."""
+
+        def fn(comm):
+            comm.set_errhandler(smpi.ERRORS_RETURN)
+            if comm.rank == 1:
+                comm.revoke()
+                return None
+            attempts = []
+
+            def once(timeout):
+                attempts.append(timeout)
+                return comm.recv(source=1, timeout=timeout)
+
+            with pytest.raises(SmpiRevokedError):
+                retry_with_backoff(
+                    once, attempts=4, base_timeout=1e-3,
+                    retry_on=(SmpiTimeoutError, SmpiRevokedError),
+                )
+            return len(attempts)
+
+        out = smpi.launch(2, fn)
+        assert out.results[0] == 1  # exactly one attempt, no backoff

@@ -1,0 +1,170 @@
+"""The deterministic checkpoint store: digests, epochs, lineage."""
+
+import numpy as np
+import pytest
+
+from repro import smpi
+from repro.errors import ValidationError
+from repro.recovery import CheckpointStore, state_digest
+
+
+class TestStateDigest:
+    def test_stable_across_calls(self):
+        state = {"centroids": np.arange(12.0).reshape(4, 3), "iteration": 7}
+        assert state_digest(state) == state_digest(state)
+
+    def test_sensitive_to_values_and_shape(self):
+        a = np.arange(6.0)
+        assert state_digest(a) != state_digest(a + 1)
+        # a reshape must not collide with its flat twin
+        assert state_digest(a) != state_digest(a.reshape(2, 3))
+        assert state_digest(a) != state_digest(a.astype(np.float32))
+
+    def test_dict_order_does_not_matter(self):
+        assert state_digest({"a": 1, "b": 2}) == state_digest({"b": 2, "a": 1})
+
+    def test_container_kinds_are_distinguished(self):
+        assert state_digest([1, 2]) != state_digest((1, 2))
+        assert state_digest("12") != state_digest(b"12")
+
+
+class TestStoreInsideARun:
+    def test_save_load_roundtrip(self):
+        store = CheckpointStore()
+
+        def fn(comm):
+            state = {"values": np.full(8, float(comm.rank))}
+            cp = store.save(comm, 0, state)
+            got = store.load(comm, 0)
+            assert np.array_equal(got["values"], state["values"])
+            return cp.digest
+
+        out = smpi.launch(2, fn)
+        assert out.results[0] != out.results[1]  # different payloads
+        assert store.saves == 2 and store.restores == 2
+        assert store.ranks() == [0, 1]
+        assert store.epochs(0) == [0]
+
+    def test_saved_state_is_isolated_from_the_caller(self):
+        """Mutating the live array after (or before reloading) a save
+        must not corrupt the checkpoint — it is a snapshot."""
+        store = CheckpointStore()
+
+        def fn(comm):
+            arr = np.zeros(4)
+            store.save(comm, 0, arr)
+            arr[:] = 99.0
+            return store.load(comm, 0)
+
+        out = smpi.launch(1, fn)
+        assert np.array_equal(out.results[0], np.zeros(4))
+
+    def test_peer_load_is_the_adoption_path(self):
+        store = CheckpointStore()
+
+        def fn(comm):
+            store.save(comm, 0, comm.rank * 10)
+            comm.barrier()
+            # everyone reads rank 1's state by world rank
+            return store.load(comm, 0, rank=1)
+
+        assert smpi.launch(2, fn).results == [10, 10]
+
+    def test_rollback_accounts_lost_time(self):
+        store = CheckpointStore()
+
+        def fn(comm):
+            store.save(comm, 0, np.zeros(64))
+            comm.compute(flops=1e7)  # work that will be "lost"
+            t_before = comm.wtime()
+            store.rollback(comm, 0)
+            return t_before
+
+        smpi.launch(1, fn)
+        assert store.rollbacks == 1
+        assert store.rollback_time > 0
+
+    def test_checkpointing_advances_virtual_time(self):
+        store = CheckpointStore()
+
+        def fn(comm):
+            t0 = comm.wtime()
+            store.save(comm, 0, np.zeros(1 << 16))
+            return comm.wtime() - t0
+
+        out = smpi.launch(1, fn)
+        assert out.results[0] > 0  # the save is not free
+
+    def test_missing_checkpoint_raises(self):
+        store = CheckpointStore()
+
+        def fn(comm):
+            with pytest.raises(ValidationError):
+                store.load(comm, 0)
+            with pytest.raises(ValidationError):
+                store.rollback(comm, 3)
+            with pytest.raises(ValidationError):
+                store.save(comm, -1, 0)
+            return True
+
+        assert smpi.launch(1, fn).results == [True]
+
+    def test_latest_consistent_epoch(self):
+        store = CheckpointStore()
+
+        def fn(comm):
+            store.save(comm, 0, comm.rank)
+            store.save(comm, 1, comm.rank)
+            if comm.rank == 0:
+                store.save(comm, 2, comm.rank)  # rank 1 never reaches 2
+            return True
+
+        smpi.launch(2, fn)
+        assert store.latest_consistent_epoch([0, 1]) == 1
+        assert store.latest_consistent_epoch([0]) == 2
+        assert store.latest_consistent_epoch([0, 1, 7]) is None
+        assert store.latest_consistent_epoch([]) is None
+
+    def test_lineage_digest_is_deterministic(self):
+        def run():
+            store = CheckpointStore()
+
+            def fn(comm):
+                store.save(comm, 0, np.arange(4) + comm.rank)
+                store.save(comm, 1, np.arange(4) * comm.rank)
+                return None
+
+            smpi.launch(2, fn)
+            return store.lineage_digest()
+
+        assert run() == run()
+
+    def test_lineage_digest_sees_every_field(self):
+        store = CheckpointStore()
+
+        def fn(comm):
+            store.save(comm, 0, 1.0)
+            base = store.lineage_digest()
+            store.save(comm, 1, 1.0)  # same state, new epoch
+            return base, store.lineage_digest()
+
+        out = smpi.launch(1, fn)
+        base, extended = out.results[0]
+        assert base != extended
+
+    def test_checkpoint_events_are_traced(self):
+        store = CheckpointStore()
+
+        def fn(comm):
+            store.save(comm, 0, np.zeros(16))
+            store.load(comm, 0)
+            store.rollback(comm, 0)
+            return None
+
+        out = smpi.launch(1, fn)
+        prims = [
+            e.primitive for e in out.tracer.events if e.category == "recovery"
+        ]
+        assert prims == [
+            "checkpoint_save", "checkpoint_fetch", "checkpoint_restore",
+        ]

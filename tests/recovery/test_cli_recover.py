@@ -1,0 +1,93 @@
+"""The ``repro recover`` CLI: argument handling, reporting, exit codes."""
+
+from repro.__main__ import main
+from repro.recovery import run_recoverable
+
+CRASH_TOML = """\
+seed = 7
+
+[[crash]]
+rank = 3
+at_time = {at_time}
+"""
+
+
+def _crash_plan(tmp_path, workload, frac, **params):
+    """Write a TOML plan crashing rank 3 at ``frac`` of the fault-free
+    makespan of ``workload``."""
+    base = run_recoverable(workload, **params).report.makespan
+    plan = tmp_path / "crash.toml"
+    plan.write_text(CRASH_TOML.format(at_time=base * frac))
+    return str(plan)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["recover", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "kmeans" in out and "sort" in out
+
+    def test_missing_workload_is_an_error(self, capsys):
+        assert main(["recover"]) == 2
+
+    def test_bad_expect_value(self, capsys):
+        assert main(["recover", "kmeans", "--expect", "fine"]) == 2
+
+    def test_bad_param(self, capsys):
+        assert main(["recover", "kmeans", "-p", "oops"]) == 2
+
+    def test_fault_free_run_survives(self, capsys):
+        argv = [
+            "recover", "kmeans", "-p", "n=256", "-p", "max_iter=4",
+            "--expect", "survived",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "empty plan" in out
+        assert "outcome:   survived" in out
+        assert "lineage:" in out
+
+    def test_crash_drill_recovers(self, tmp_path, capsys):
+        plan = _crash_plan(
+            tmp_path, "kmeans", 0.5, n=256, max_iter=4,
+        )
+        argv = [
+            "recover", "kmeans", "--plan", plan,
+            "-p", "n=256", "-p", "max_iter=4", "--expect", "recovered",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "crash rank 3" in out
+        assert "outcome:   recovered" in out
+        assert "rollback:" in out
+
+    def test_expect_mismatch_fails(self, tmp_path, capsys):
+        plan = _crash_plan(tmp_path, "sort", 0.1, n_per_rank=200)
+        argv = [
+            "recover", "sort", "--plan", plan,
+            "-p", "n_per_rank=200", "--expect", "survived",
+        ]
+        assert main(argv) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_waits_and_seed_override(self, tmp_path, capsys):
+        plan = _crash_plan(tmp_path, "kmeans", 0.5, n=256, max_iter=4)
+        argv = [
+            "recover", "kmeans", "--plan", plan, "--seed", "9",
+            "-p", "n=256", "-p", "max_iter=4", "--waits",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "seed=9" in out
+        assert "Wait states" in out
+        assert "R recovery" in out  # the timeline legend gained a glyph
+
+    def test_zero_recovery_budget_aborts(self, tmp_path, capsys):
+        plan = _crash_plan(tmp_path, "kmeans", 0.5, n=256, max_iter=4)
+        argv = [
+            "recover", "kmeans", "--plan", plan,
+            "-p", "n=256", "-p", "max_iter=4",
+            "--max-recoveries", "0", "--expect", "aborted",
+        ]
+        assert main(argv) == 0
+        assert "outcome:   aborted" in capsys.readouterr().out

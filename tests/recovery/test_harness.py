@@ -1,0 +1,142 @@
+"""run_with_recovery: the catch → revoke → shrink → agree drill harness."""
+
+import numpy as np
+import pytest
+
+from repro import smpi
+from repro.errors import ValidationError
+from repro.faults import FaultPlan
+from repro.modules.module5_kmeans import kmeans_distributed
+from repro.recovery import (
+    RECOVERY_OUTCOMES,
+    run_recoverable,
+    run_with_recovery,
+)
+
+NP = 4
+# Small-but-real kmeans: big enough to cross several checkpoint epochs,
+# small enough to keep the suite fast.
+KM = dict(n=512, k=4, dims=2, max_iter=6, seed=3)
+
+
+def _kmeans_makespan():
+    return run_recoverable("kmeans", nprocs=NP, **KM).report.makespan
+
+
+class TestOutcomes:
+    def test_outcome_registry(self):
+        assert RECOVERY_OUTCOMES == (
+            "survived", "recovered", "degraded", "aborted",
+        )
+
+    def test_fault_free_run_survives(self):
+        run = run_recoverable("kmeans", nprocs=NP, **KM)
+        r = run.report
+        assert r.outcome == "survived"
+        assert r.shrinks == 0 and r.rollbacks == 0
+        assert r.checkpoints > 0
+        assert r.crashed_ranks == ()
+
+    def test_crash_mid_run_recovers(self):
+        crash_at = _kmeans_makespan() * 0.5
+        plan = FaultPlan(seed=2).crash(rank=3, at_time=crash_at)
+        run = run_recoverable("kmeans", plan, nprocs=NP, **KM)
+        r = run.report
+        assert r.outcome == "recovered"
+        assert r.crashed_ranks == (3,)
+        assert r.shrinks == NP - 1  # every survivor shrank once
+        assert r.rollback_time >= 0
+
+    def test_recovered_centroids_match_fault_free(self):
+        """The acceptance property: after losing a rank mid-iteration the
+        survivors converge to the same centroids as the clean run (modulo
+        FP regrouping across a different rank count)."""
+        clean = run_recoverable("kmeans", nprocs=NP, **KM)
+        crash_at = clean.report.makespan * 0.5
+        plan = FaultPlan(seed=2).crash(rank=3, at_time=crash_at)
+        run = run_recoverable("kmeans", plan, nprocs=NP, **KM)
+        assert run.report.outcome == "recovered"
+        want = clean.run.results[0].centroids
+        got = next(res for res in run.run.results if res is not None).centroids
+        assert np.allclose(got, want, atol=1e-8)
+
+    def test_matches_the_plain_module5_solver(self):
+        """The recoverable body is not a fork: fault-free it produces the
+        same centroids as the Module 5 weighted solver."""
+        clean = run_recoverable("kmeans", nprocs=NP, **KM)
+        plain = smpi.launch(
+            NP, lambda comm: kmeans_distributed(comm, method="weighted", **KM)
+        )
+        assert np.allclose(
+            clean.run.results[0].centroids,
+            plain.results[0].centroids,
+        )
+
+    def test_sort_recovers_without_losing_values(self):
+        # The crash must trip on the post-checkpoint barrier: that is
+        # sort's recoverable window (once the ANY_SOURCE exchange is in
+        # flight a crash aborts, by design — see sort_recoverable).
+        base = run_recoverable("sort", nprocs=NP, n_per_rank=500)
+        plan = FaultPlan(seed=2).crash(
+            rank=3, at_time=base.report.makespan * 0.02
+        )
+        run = run_recoverable("sort", plan, nprocs=NP, n_per_rank=500)
+        r = run.report
+        assert r.outcome == "recovered"
+        res = next(res for res in run.run.results if res is not None)
+        assert res["sorted"] and res["complete"]
+        assert res["total"] == 500 * NP
+
+    def test_zero_budget_aborts(self):
+        crash_at = _kmeans_makespan() * 0.5
+        plan = FaultPlan(seed=2).crash(rank=3, at_time=crash_at)
+        run = run_recoverable(
+            "kmeans", plan, nprocs=NP, max_recoveries=0, **KM
+        )
+        assert run.report.outcome == "aborted"
+        assert run.report.error is not None
+
+    def test_non_crash_faults_degrade(self):
+        plan = FaultPlan(seed=4).delay(2e-6, src=1, dst=0)
+        run = run_recoverable("sort", plan, nprocs=NP, n_per_rank=200)
+        assert run.report.outcome in ("degraded", "survived")
+        assert run.report.shrinks == 0
+
+
+class TestDeterminism:
+    def test_identical_runs_have_identical_digests(self):
+        crash_at = _kmeans_makespan() * 0.5
+        plan = FaultPlan(seed=2).crash(rank=3, at_time=crash_at)
+        a = run_recoverable("kmeans", plan, nprocs=NP, **KM)
+        b = run_recoverable("kmeans", plan, nprocs=NP, **KM)
+        assert a.report.outcome == b.report.outcome == "recovered"
+        assert a.report.digest == b.report.digest
+        assert a.report.lineage == b.report.lineage
+        assert a.report.makespan == b.report.makespan
+
+
+class TestValidation:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValidationError):
+            run_with_recovery(lambda c, s, a: None, 2, max_recoveries=-1)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValidationError):
+            run_recoverable("quicksort")
+
+    def test_bad_nprocs_rejected(self):
+        with pytest.raises(ValidationError):
+            run_recoverable("kmeans", nprocs=0)
+
+
+class TestReportRendering:
+    def test_lines_cover_the_recovery_counters(self):
+        crash_at = _kmeans_makespan() * 0.5
+        plan = FaultPlan(seed=2).crash(rank=3, at_time=crash_at)
+        run = run_recoverable("kmeans", plan, nprocs=NP, **KM)
+        text = "\n".join(run.report.lines())
+        assert "outcome:   recovered" in text
+        assert "crashed:   ranks [3]" in text
+        assert "shrinks=3" in text
+        assert "rollback:" in text
+        assert "lineage:   blake2b:" in text

@@ -1,0 +1,265 @@
+"""ULFM-style fault-tolerance primitives: revoke / shrink / agree.
+
+These are the building blocks of :mod:`repro.recovery` — each test
+exercises one piece of the User-Level Failure Mitigation surface on the
+simulated runtime: revocation poisons pending and future operations,
+shrink rebuilds a communicator from the survivors, and agree is a
+fault-tolerant consensus that refuses to let a failure go unnoticed.
+"""
+
+import pytest
+
+from repro import smpi
+from repro.errors import (
+    DeadlockError,
+    SmpiProcFailedError,
+    SmpiRevokedError,
+)
+from repro.faults import FaultPlan
+
+
+class TestRevoke:
+    def test_revoke_interrupts_a_blocked_recv(self):
+        """The canonical ULFM motivation: a recv that would otherwise
+        hang forever (its sender took a different code path) is broken
+        out of by a peer's revoke — with SmpiRevokedError, *not* a
+        deadlock abort."""
+
+        def fn(comm):
+            comm.set_errhandler(smpi.ERRORS_RETURN)
+            if comm.rank == 0:
+                with pytest.raises(SmpiRevokedError):
+                    comm.recv(source=1)
+                return "interrupted"
+            comm.revoke()
+            return "revoker"
+
+        out = smpi.launch(2, fn)
+        assert out.results == ["interrupted", "revoker"]
+        assert not any(isinstance(r, DeadlockError) for r in out.results)
+
+    def test_future_operations_raise_after_revoke(self):
+        def fn(comm):
+            comm.set_errhandler(smpi.ERRORS_RETURN)
+            comm.revoke()  # every rank revokes; idempotent
+            for op in (
+                lambda: comm.send(1, dest=(comm.rank + 1) % comm.size),
+                lambda: comm.recv(source=smpi.ANY_SOURCE),
+                lambda: comm.isend(1, dest=(comm.rank + 1) % comm.size),
+                lambda: comm.probe(source=smpi.ANY_SOURCE),
+                lambda: comm.iprobe(source=smpi.ANY_SOURCE),
+                lambda: comm.barrier(),
+                lambda: comm.allreduce(comm.rank),
+            ):
+                with pytest.raises(SmpiRevokedError):
+                    op()
+            return comm.is_revoked
+
+        assert smpi.launch(2, fn).results == [True, True]
+
+    def test_revoke_purges_undelivered_messages(self):
+        """An eager message already enqueued is dropped by the revoke:
+        the receiver raises instead of consuming stale data."""
+
+        def fn(comm):
+            comm.set_errhandler(smpi.ERRORS_RETURN)
+            if comm.rank == 0:
+                comm.send("stale", dest=1)
+                comm.revoke()
+                return "sent then revoked"
+            # Park on a tag that is never sent; the revoke breaks the
+            # wait AND drops the already-enqueued "stale" payload.
+            with pytest.raises(SmpiRevokedError):
+                comm.recv(source=0, tag=99)
+            return comm.world.queues[comm.world_rank].unexpected
+
+        out = smpi.launch(2, fn)
+        assert out.results[0] == "sent then revoked"
+        assert out.results[1] == []  # the eager envelope was purged
+
+    def test_revoke_does_not_leak_across_communicators(self):
+        """Revoking a dup'd communicator leaves the parent usable."""
+
+        def fn(comm):
+            comm.set_errhandler(smpi.ERRORS_RETURN)
+            other = comm.dup()
+            other.revoke()
+            with pytest.raises(SmpiRevokedError):
+                other.barrier()
+            assert not comm.is_revoked
+            return comm.allreduce(1)
+
+        assert smpi.launch(3, fn).results == [3, 3, 3]
+
+    def test_pending_wait_is_poisoned(self):
+        def fn(comm):
+            comm.set_errhandler(smpi.ERRORS_RETURN)
+            if comm.rank == 0:
+                req = comm.irecv(source=1, tag=5)
+                with pytest.raises(SmpiRevokedError):
+                    req.wait()
+                return "poisoned"
+            comm.revoke()
+            return None
+
+        assert smpi.launch(2, fn).results[0] == "poisoned"
+
+
+class TestShrink:
+    def test_shrink_excludes_crashed_ranks_and_renumbers(self):
+        def fn(comm):
+            comm.set_errhandler(smpi.ERRORS_RETURN)
+            if comm.rank == 1:
+                comm.barrier()  # trips the at_time=0 crash
+                return None
+            with pytest.raises(SmpiProcFailedError):
+                comm.barrier()
+            new = comm.shrink()
+            return (new.rank, new.size, new.group, comm.world_rank)
+
+        plan = FaultPlan(seed=3).crash(rank=1, at_time=0.0)
+        out = smpi.launch(4, fn, faults=plan, check=False)
+        # survivors 0,2,3 renumber to 0,1,2 in old rank order; world_rank
+        # is stable so checkpoint state stays addressable
+        assert out.results[0] == (0, 3, (0, 2, 3), 0)
+        assert out.results[2] == (1, 3, (0, 2, 3), 2)
+        assert out.results[3] == (2, 3, (0, 2, 3), 3)
+
+    def test_shrunken_comm_is_fully_usable(self):
+        def fn(comm):
+            comm.set_errhandler(smpi.ERRORS_RETURN)
+            if comm.rank == 2:
+                comm.barrier()
+                return None
+            with pytest.raises(SmpiProcFailedError):
+                comm.barrier()
+            new = comm.shrink()
+            total = new.allreduce(new.rank + 1)
+            if new.rank == 0:
+                new.send("hello", dest=new.size - 1)
+                return total
+            if new.rank == new.size - 1:
+                return (total, new.recv(source=0))
+            return total
+
+        plan = FaultPlan(seed=3).crash(rank=2, at_time=0.0)
+        out = smpi.launch(3, fn, faults=plan, check=False)
+        assert out.results[0] == 3  # ranks 1+2 on the 2-member comm
+        assert out.results[1] == (3, "hello")
+
+    def test_shrink_works_on_a_revoked_communicator(self):
+        """That is the whole point of shrink: it must be callable when
+        every normal operation already raises."""
+
+        def fn(comm):
+            comm.set_errhandler(smpi.ERRORS_RETURN)
+            comm.revoke()
+            with pytest.raises(SmpiRevokedError):
+                comm.barrier()
+            new = comm.shrink()
+            assert not new.is_revoked
+            return new.allreduce(1)
+
+        assert smpi.launch(3, fn).results == [3, 3, 3]
+
+    def test_shrink_is_deterministic(self):
+        def fn(comm):
+            comm.set_errhandler(smpi.ERRORS_RETURN)
+            if comm.rank == 3:
+                comm.barrier()
+                return None
+            with pytest.raises(SmpiProcFailedError):
+                comm.barrier()
+            new = comm.shrink()
+            return (new.rank, new.group, comm.wtime())
+
+        plan = FaultPlan(seed=11).crash(rank=3, at_time=0.0)
+        a = smpi.launch(4, fn, faults=plan, check=False)
+        b = smpi.launch(4, fn, faults=plan, check=False)
+        assert a.results == b.results
+
+
+class TestAgree:
+    def test_agree_is_a_logical_and(self):
+        def fn(comm):
+            return comm.agree(comm.rank != 1)
+
+        assert smpi.launch(3, fn).results == [False, False, False]
+        assert smpi.launch(3, lambda c: c.agree(True)).results == [True] * 3
+
+    def test_agree_raises_on_unacknowledged_failure(self):
+        """ULFM guarantee: an agreement never silently papers over a
+        failure.  First agree raises; after failure_ack the next one
+        succeeds."""
+
+        def fn(comm):
+            comm.set_errhandler(smpi.ERRORS_RETURN)
+            if comm.rank == 1:
+                comm.barrier()
+                return None
+            with pytest.raises(SmpiProcFailedError):
+                comm.barrier()
+            with pytest.raises(SmpiProcFailedError):
+                comm.agree(True)
+            acked = comm.failure_ack()
+            assert comm.failure_get_acked() == acked
+            return (acked, comm.agree(True))
+
+        plan = FaultPlan(seed=5).crash(rank=1, at_time=0.0)
+        out = smpi.launch(3, fn, faults=plan, check=False)
+        assert out.results[0] == ([1], True)
+        assert out.results[2] == ([1], True)
+
+    def test_agree_works_on_a_revoked_communicator(self):
+        def fn(comm):
+            comm.set_errhandler(smpi.ERRORS_RETURN)
+            comm.revoke()
+            return comm.agree(comm.rank == 0)
+
+        assert smpi.launch(2, fn).results == [False, False]
+
+
+class TestRecoveryObservability:
+    def test_recovery_events_are_traced(self):
+        def fn(comm):
+            comm.set_errhandler(smpi.ERRORS_RETURN)
+            comm.revoke()
+            comm.failure_ack()
+            new = comm.shrink()
+            new.agree(True)
+            return None
+
+        out = smpi.launch(2, fn)
+        prims = {
+            e.primitive for e in out.tracer.events if e.category == "recovery"
+        }
+        assert prims == {
+            "MPIX_Comm_revoke",
+            "MPIX_Comm_failure_ack",
+            "MPIX_Comm_shrink",
+            "MPIX_Comm_agree",
+        }
+        revokes = sum(
+            s.value
+            for s in out.metrics.collect("smpi.recovery.revoke_calls")
+        )
+        assert revokes == 2  # one per rank
+        assert out.metrics.counter("smpi.recovery.revoked_comms").value == 1
+
+    def test_recovery_sync_wait_attribution(self):
+        """A straggler entering shrink late shows up as recovery_sync
+        wait time on the early ranks."""
+        from repro.obs import analyze_wait_states
+
+        def fn(comm):
+            comm.set_errhandler(smpi.ERRORS_RETURN)
+            if comm.rank == 1:
+                comm.compute(flops=5e6)  # arrive late to the rendezvous
+            return comm.shrink().size
+
+        out = smpi.launch(2, fn)
+        assert out.results == [2, 2]
+        waits = analyze_wait_states(out.tracer)
+        sync = [w for w in waits.intervals if w.kind == "recovery_sync"]
+        assert sync and all(w.rank == 0 for w in sync)
+        assert sum(w.time for w in sync) > 0

@@ -23,7 +23,12 @@ def main():
         report = demonstrate(p.name)
         verdict = "diagnosed" if report.diagnosed else "NOT DIAGNOSED?!"
         first_line = report.message.splitlines()[0]
-        print(f"  the runtime ({verdict}): {p.expected_error.__name__}: {first_line}")
+        label = (
+            p.expected_error.__name__
+            if p.expected_error is not None
+            else f"silent ({p.sanitize_code})"
+        )
+        print(f"  the runtime ({verdict}): {label}: {first_line}")
     print("=" * 72)
     print(f"{len(PITFALLS)} pitfalls, all caught.")
 

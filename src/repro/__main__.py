@@ -13,6 +13,9 @@ Subcommands::
     python -m repro faults resilient --plan drills.toml --expect degraded
     python -m repro recover kmeans --plan crash.toml     # recovery drill
     python -m repro recover sort --plan crash.toml --expect recovered
+    python -m repro sanitize sort                # correctness sanitizer
+    python -m repro sanitize --pitfall wildcard-race
+    python -m repro sanitize --pitfalls          # sweep the bug corpus
 
 Exit status is non-zero when any requested experiment's checks fail, so
 the CLI doubles as a smoke-test in CI.
@@ -299,6 +302,78 @@ def _cmd_recover(args) -> int:
     return 0
 
 
+def _cmd_sanitize(args) -> int:
+    from repro.modules.pitfalls import PITFALLS
+    from repro.obs import WORKLOADS
+    from repro.sanitize import (
+        sanitize_corpus,
+        sanitize_pitfall,
+        sanitize_workload,
+    )
+
+    if args.list:
+        width = max(len(name) for name in WORKLOADS)
+        for name, w in sorted(WORKLOADS.items()):
+            print(
+                f"{name.ljust(width)}  {w.module:>7}  "
+                f"(default nprocs {w.default_nprocs})  {w.description}"
+            )
+        print()
+        width = max(len(p.name) for p in PITFALLS)
+        for p in PITFALLS:
+            print(f"{p.name.ljust(width)}  pitfall  ({p.sanitize_code})")
+        return 0
+    if args.pitfalls:
+        entries = sanitize_corpus()
+        width = max(len(e.name) for e in entries)
+        bad = 0
+        for e in entries:
+            mark = "ok " if e.ok else "BAD"
+            if not e.ok:
+                bad += 1
+            print(
+                f"{mark} {e.name.ljust(width)}  expected {e.expected}, "
+                f"got {', '.join(e.got) or '(clean)'}"
+            )
+        print(
+            f"\n{len(entries)} pitfalls swept, "
+            f"{len(entries) - bad} diagnosed as documented"
+            + (f", {bad} MISSED" if bad else "")
+        )
+        return 2 if bad else 0
+    if args.pitfall is not None:
+        report = sanitize_pitfall(args.pitfall, replay=not args.no_replay)
+        print(report.render())
+        return report.exit_code
+    if args.workload is None:
+        print(
+            "sanitize: a WORKLOAD name is required "
+            "(or --list / --pitfall NAME / --pitfalls)",
+            file=sys.stderr,
+        )
+        return 3
+    try:
+        params = _parse_params(args.param)
+    except ValueError as exc:
+        print(f"sanitize: {exc}", file=sys.stderr)
+        return 3
+    faults = None
+    if args.plan:
+        from repro.faults import FaultPlan
+
+        faults = FaultPlan.from_toml(args.plan)
+        if args.seed is not None:
+            import dataclasses
+
+            faults = dataclasses.replace(faults, seed=args.seed)
+    report = sanitize_workload(
+        args.workload, nprocs=args.nprocs,
+        replay=not args.no_replay, faults=faults, **params,
+    )
+    print(report.render())
+    return report.exit_code
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -434,6 +509,49 @@ def main(argv=None) -> int:
         "--width", type=int, default=72, help="timeline width in columns"
     )
     recover_parser.set_defaults(fn=_cmd_recover)
+    sanitize_parser = sub.add_parser(
+        "sanitize",
+        help="run the MPI correctness sanitizer: message races (replay-"
+        "confirmed), collective mismatches, leaks; exit 0 clean / "
+        "1 warnings / 2 errors",
+    )
+    sanitize_parser.add_argument(
+        "workload", nargs="?", metavar="WORKLOAD",
+        help="workload name (see --list), e.g. sort, kmeans",
+    )
+    sanitize_parser.add_argument(
+        "--list", action="store_true",
+        help="list the available workloads and pitfalls",
+    )
+    sanitize_parser.add_argument(
+        "--pitfall", metavar="NAME", default=None,
+        help="sanitize one entry of the pitfalls corpus instead",
+    )
+    sanitize_parser.add_argument(
+        "--pitfalls", action="store_true",
+        help="sweep the whole pitfalls corpus; exit non-zero unless every "
+        "entry surfaces its documented diagnostic",
+    )
+    sanitize_parser.add_argument(
+        "-n", "--nprocs", type=int, default=None, help="number of simulated ranks"
+    )
+    sanitize_parser.add_argument(
+        "-p", "--param", action="append", metavar="KEY=VALUE",
+        help="workload parameter override (repeatable)",
+    )
+    sanitize_parser.add_argument(
+        "--plan", metavar="FILE", default=None,
+        help="also inject a fault plan TOML (sanitize under faults)",
+    )
+    sanitize_parser.add_argument(
+        "--seed", type=int, default=None, help="override the plan's seed"
+    )
+    sanitize_parser.add_argument(
+        "--no-replay", action="store_true",
+        help="skip the schedule-perturbation replay; race candidates "
+        "degrade from verdicts to warnings",
+    )
+    sanitize_parser.set_defaults(fn=_cmd_sanitize)
     args = parser.parse_args(argv)
     return args.fn(args)
 

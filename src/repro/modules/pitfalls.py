@@ -12,7 +12,7 @@ failure mode.  Instructors can point students at any of these by name.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -28,14 +28,24 @@ from repro.errors import (
 
 @dataclass(frozen=True)
 class Pitfall:
-    """One classic bug: a runner plus its expected diagnosis."""
+    """One classic bug: a runner plus its expected diagnosis.
+
+    ``expected_error`` is ``None`` for the *silent* pitfalls — bugs the
+    runtime cannot turn into an exception (message races, leaked
+    requests, premature buffer reuse): the program completes, possibly
+    with a wrong or timing-dependent answer.  Those are exactly what
+    ``repro sanitize`` exists for; ``sanitize_code`` names the finding
+    the sanitizer must produce for *every* pitfall, silent or loud
+    (tests/sanitize/test_corpus.py holds the catalog to it).
+    """
 
     name: str
     description: str
     lesson: str
     runner: Callable[[], None]
-    expected_error: type[Exception]
+    expected_error: Optional[type[Exception]]
     error_must_mention: str = ""
+    sanitize_code: str = ""
 
 
 @dataclass(frozen=True)
@@ -135,6 +145,51 @@ def _scatter_wrong_length() -> None:
     smpi.run(2, fn)
 
 
+def _wildcard_race() -> None:
+    def fn(comm):
+        if comm.rank == 0:
+            first = comm.recv(source=smpi.ANY_SOURCE, tag=1)
+            second = comm.recv(source=smpi.ANY_SOURCE, tag=1)
+            return first * 10 + second  # order-dependent!
+        comm.send(float(comm.rank), dest=0, tag=1)
+        return None
+
+    smpi.run(3, fn)
+
+
+def _unwaited_isend() -> None:
+    def fn(comm):
+        if comm.rank == 0:
+            comm.isend("payload", dest=1)  # request dropped on the floor
+        else:
+            comm.recv(source=0)
+
+    smpi.run(2, fn)
+
+
+def _isend_buffer_reuse() -> None:
+    def fn(comm):
+        if comm.rank == 0:
+            buf = np.zeros(4096)
+            req = comm.Isend(buf, dest=1)
+            buf[:] = 1.0  # scribbling before the send completed
+            req.wait()
+        else:
+            buf = np.empty(4096)
+            comm.Recv(buf, source=0)
+
+    smpi.run(2, fn)
+
+
+def _unfreed_comm() -> None:
+    def fn(comm):
+        half = comm.split(color=comm.rank % 2)
+        half.allreduce(1, op=smpi.SUM)
+        # forgot half.free()
+
+    smpi.run(4, fn)
+
+
 PITFALLS: tuple[Pitfall, ...] = (
     Pitfall(
         name="ring-of-blocking-sends",
@@ -145,6 +200,7 @@ PITFALLS: tuple[Pitfall, ...] = (
         runner=_ring_of_blocking_sends,
         expected_error=DeadlockError,
         error_must_mention="rendezvous",
+        sanitize_code="deadlock",
     ),
     Pitfall(
         name="mutual-blocking-sends",
@@ -152,6 +208,7 @@ PITFALLS: tuple[Pitfall, ...] = (
         lesson="The textbook exchange deadlock; use MPI_Sendrecv.",
         runner=_mutual_blocking_sends,
         expected_error=DeadlockError,
+        sanitize_code="deadlock",
     ),
     Pitfall(
         name="recv-from-finished-rank",
@@ -161,6 +218,7 @@ PITFALLS: tuple[Pitfall, ...] = (
         runner=_recv_from_finished_rank,
         expected_error=DeadlockError,
         error_must_mention="rank 1",
+        sanitize_code="unmatched-recv",
     ),
     Pitfall(
         name="mismatched-collectives",
@@ -169,6 +227,7 @@ PITFALLS: tuple[Pitfall, ...] = (
         runner=_mismatched_collectives,
         expected_error=SMPIError,
         error_must_mention="mismatch",
+        sanitize_code="collective-mismatch",
     ),
     Pitfall(
         name="disagreeing-roots",
@@ -177,6 +236,7 @@ PITFALLS: tuple[Pitfall, ...] = (
         runner=_disagreeing_roots,
         expected_error=SMPIError,
         error_must_mention="root",
+        sanitize_code="collective-root-mismatch",
     ),
     Pitfall(
         name="collective-skipped",
@@ -185,6 +245,7 @@ PITFALLS: tuple[Pitfall, ...] = (
         runner=_collective_skipped_by_one_rank,
         expected_error=DeadlockError,
         error_must_mention="MPI_Allreduce",
+        sanitize_code="collective-dropout",
     ),
     Pitfall(
         name="tag-confusion",
@@ -192,6 +253,7 @@ PITFALLS: tuple[Pitfall, ...] = (
         lesson="Tags are part of matching; mismatches wait forever.",
         runner=_tag_confusion,
         expected_error=DeadlockError,
+        sanitize_code="tag-mismatch",
     ),
     Pitfall(
         name="buffer-too-small",
@@ -199,6 +261,7 @@ PITFALLS: tuple[Pitfall, ...] = (
         lesson="MPI truncates with an error, not silently.",
         runner=_buffer_too_small,
         expected_error=TruncationError,
+        sanitize_code="truncation",
     ),
     Pitfall(
         name="rank-out-of-range",
@@ -206,6 +269,7 @@ PITFALLS: tuple[Pitfall, ...] = (
         lesson="Ranks run 0..size-1.",
         runner=_rank_out_of_range,
         expected_error=InvalidRankError,
+        sanitize_code="invalid-rank",
     ),
     Pitfall(
         name="scatter-wrong-length",
@@ -214,6 +278,47 @@ PITFALLS: tuple[Pitfall, ...] = (
         runner=_scatter_wrong_length,
         expected_error=SMPIError,
         error_must_mention="exactly",
+        sanitize_code="collective-count-mismatch",
+    ),
+    Pitfall(
+        name="wildcard-race",
+        description="Two ranks send on the same tag; the receiver combines "
+        "two ANY_SOURCE receives order-dependently.",
+        lesson="Wildcard receives are nondeterministic: any concurrently "
+        "matchable sender may win.  Name the source, or make the "
+        "computation order-independent.",
+        runner=_wildcard_race,
+        expected_error=None,  # completes — with a timing-dependent answer
+        sanitize_code="message-race",
+    ),
+    Pitfall(
+        name="unwaited-isend",
+        description="An isend whose request is never completed with "
+        "wait/test.",
+        lesson="Every nonblocking call must be completed; an unfinished "
+        "request may mean the data never went anywhere.",
+        runner=_unwaited_isend,
+        expected_error=None,  # completes silently (eager send)
+        sanitize_code="request-leak",
+    ),
+    Pitfall(
+        name="isend-buffer-reuse",
+        description="The send buffer is overwritten between Isend and "
+        "wait.",
+        lesson="MPI forbids touching a send buffer until the request "
+        "completes — on a real MPI the receiver may see either data.",
+        runner=_isend_buffer_reuse,
+        expected_error=None,  # the simulator copies eagerly; real MPI may not
+        sanitize_code="buffer-mutation",
+    ),
+    Pitfall(
+        name="unfreed-comm",
+        description="A communicator from split is never freed.",
+        lesson="Communicators are resources; MPI_Comm_free what you "
+        "create (real MPIs run out of context ids).",
+        runner=_unfreed_comm,
+        expected_error=None,  # harmless here, a leak on a real MPI
+        sanitize_code="comm-leak",
     ),
 )
 
@@ -229,18 +334,32 @@ def pitfall(name: str) -> Pitfall:
 
 
 def demonstrate(name: str) -> PitfallReport:
-    """Run one pitfall; verify it fails the documented way."""
+    """Run one pitfall; verify it fails the documented way.
+
+    Pitfalls with ``expected_error=None`` are the *silent* ones: they
+    are diagnosed by completing without error — the runtime cannot see
+    the bug, which is the cue to run ``repro sanitize`` on them
+    (their :attr:`Pitfall.sanitize_code` names the finding it reports).
+    """
     p = pitfall(name)
     try:
         p.runner()
-    except p.expected_error as exc:
-        message = str(exc)
-        diagnosed = p.error_must_mention in message
-        return PitfallReport(pitfall=p, diagnosed=diagnosed, message=message)
-    except Exception as exc:  # noqa: BLE001 - report the surprise
+    except Exception as exc:  # noqa: BLE001 - classify below
+        if p.expected_error is not None and isinstance(exc, p.expected_error):
+            message = str(exc)
+            diagnosed = p.error_must_mention in message
+            return PitfallReport(pitfall=p, diagnosed=diagnosed, message=message)
         return PitfallReport(
             pitfall=p, diagnosed=False,
             message=f"unexpected {type(exc).__name__}: {exc}",
+        )
+    if p.expected_error is None:
+        return PitfallReport(
+            pitfall=p, diagnosed=True,
+            message=(
+                f"completes without error — run `python -m repro sanitize "
+                f"--pitfall {p.name}` to see the {p.sanitize_code} finding"
+            ),
         )
     return PitfallReport(pitfall=p, diagnosed=False, message="completed without error?!")
 

@@ -1,0 +1,61 @@
+"""repro.sanitize — an MPI correctness sanitizer for the simulated runtime.
+
+The dynamic-analysis layer of the correctness-tooling pillar (alongside
+:mod:`repro.obs`, :mod:`repro.faults` and :mod:`repro.recovery`).  It
+detects, at the offending call site rather than as a hang or a silently
+wrong answer:
+
+* **message races** — wildcard (``ANY_SOURCE``/``ANY_TAG``) receives
+  with more than one concurrently matchable sender, *confirmed or
+  refuted* by a deterministic schedule-perturbation replay;
+* **collective mismatches** — cross-rank disagreement on collective
+  kind, root, count or call order, plus ranks that drop out;
+* **resource leaks** — nonblocking requests never completed, split/dup
+  communicators never freed, and isend buffers mutated before the send
+  completed.
+
+Entry points::
+
+    from repro.sanitize import sanitize_workload, sanitize_pitfall
+    report = sanitize_workload("sort", nprocs=4)
+    assert report.outcome == "clean"          # benign ANY_SOURCE: refuted
+
+    report = sanitize_pitfall("wildcard-race")
+    assert "message-race" in report.codes()   # confirmed by replay
+
+or ``python -m repro sanitize <workload>`` on the command line (exit
+code 0 = clean, 1 = warnings, 2 = errors).
+"""
+
+from repro.sanitize.findings import (
+    ERROR_CODES,
+    Finding,
+    SanitizeReport,
+    WARNING_CODES,
+    finding,
+)
+from repro.sanitize.analyze import analyze
+from repro.sanitize.runner import (
+    CorpusEntry,
+    sanitize_corpus,
+    sanitize_invoke,
+    sanitize_pitfall,
+    sanitize_workload,
+)
+from repro.sanitize.sanitizer import Sanitizer, capture
+
+__all__ = [
+    "ERROR_CODES",
+    "WARNING_CODES",
+    "Finding",
+    "SanitizeReport",
+    "finding",
+    "analyze",
+    "CorpusEntry",
+    "sanitize_corpus",
+    "sanitize_invoke",
+    "sanitize_pitfall",
+    "sanitize_workload",
+    "Sanitizer",
+    "capture",
+]

@@ -1,0 +1,142 @@
+"""Sanitizer findings and the report students and CI both read.
+
+A :class:`Finding` is one diagnosed correctness problem — a message
+race, a collective mismatch, a leaked request.  A
+:class:`SanitizeReport` aggregates a run's findings with a
+severity-graded outcome and a content digest, so two runs of the same
+program produce *byte-identical* reports (the acceptance criterion for
+the race-replay machinery: verdicts must be deterministic).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: finding codes by severity — the diagnostic vocabulary of the sanitizer
+ERROR_CODES = frozenset(
+    {
+        "message-race",
+        "collective-mismatch",
+        "collective-root-mismatch",
+        "collective-count-mismatch",
+        "collective-dropout",
+        "tag-mismatch",
+        "unmatched-recv",
+        "deadlock",
+        "truncation",
+        "invalid-rank",
+        "buffer-mutation",
+        "abort",
+    }
+)
+WARNING_CODES = frozenset({"request-leak", "comm-leak", "message-race-candidate"})
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnosed problem.
+
+    ``rank`` is the world rank the diagnostic anchors to (``-1`` when the
+    problem is global, e.g. a whole-world deadlock).  Ordering sorts
+    errors before warnings, then by code, rank and message — the stable
+    order :meth:`SanitizeReport.lines` renders.
+    """
+
+    sort_key: int  # 0 = error, 1 = warning (leading field drives order)
+    code: str
+    rank: int
+    message: str
+
+    @property
+    def severity(self) -> str:
+        return "error" if self.sort_key == 0 else "warning"
+
+
+def finding(code: str, rank: int, message: str) -> Finding:
+    """Build a :class:`Finding`, deriving severity from the code."""
+    if code in ERROR_CODES:
+        return Finding(0, code, rank, message)
+    if code in WARNING_CODES:
+        return Finding(1, code, rank, message)
+    raise ValueError(f"unknown finding code {code!r}")
+
+
+@dataclass(frozen=True)
+class SanitizeReport:
+    """Everything one ``repro sanitize`` run concluded.
+
+    ``outcome`` is ``clean`` / ``warnings`` / ``errors``;
+    :attr:`exit_code` grades it 0 / 1 / 2 for CI (the CLI reserves 3 for
+    usage errors).
+    """
+
+    workload: str
+    nprocs: int
+    makespan: float
+    findings: tuple[Finding, ...]
+    stats: dict[str, int] = field(default_factory=dict)
+    error: str = ""  # the aborting exception's type name, if the run died
+    replayed: bool = False  # a race-confirmation replay actually ran
+
+    @property
+    def outcome(self) -> str:
+        if any(f.severity == "error" for f in self.findings):
+            return "errors"
+        if self.findings:
+            return "warnings"
+        return "clean"
+
+    @property
+    def exit_code(self) -> int:
+        return {"clean": 0, "warnings": 1, "errors": 2}[self.outcome]
+
+    @property
+    def errors(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.severity == "error")
+
+    @property
+    def warnings(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.severity == "warning")
+
+    @property
+    def digest(self) -> str:
+        """Content digest of the report body (everything but itself)."""
+        h = hashlib.blake2b(digest_size=16)
+        for line in self._body_lines():
+            h.update(line.encode())
+            h.update(b"\n")
+        return h.hexdigest()
+
+    def codes(self) -> tuple[str, ...]:
+        """The distinct finding codes, in report order."""
+        seen: list[str] = []
+        for f in self.findings:
+            if f.code not in seen:
+                seen.append(f.code)
+        return tuple(seen)
+
+    def _body_lines(self) -> list[str]:
+        lines = [
+            f"sanitize:  {self.workload} (np={self.nprocs})",
+            f"outcome:   {self.outcome}"
+            + (f" ({self.error})" if self.error else ""),
+            f"makespan:  {self.makespan:.6g} s",
+            f"findings:  {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+            + (" [race replay ran]" if self.replayed else ""),
+        ]
+        for f in sorted(self.findings):
+            where = f"rank {f.rank}" if f.rank >= 0 else "world"
+            lines.append(f"  [{f.severity}] {f.code} @ {where}: {f.message}")
+        if self.stats:
+            pairs = " ".join(f"{k}={self.stats[k]}" for k in sorted(self.stats))
+            lines.append(f"stats:     {pairs}")
+        return lines
+
+    def lines(self) -> list[str]:
+        return self._body_lines() + [f"report:    blake2b:{self.digest}"]
+
+    def render(self) -> str:
+        return "\n".join(self.lines())

@@ -62,6 +62,7 @@ class Comm:
         self._split_count = 0
         self._errhandler = ERRORS_ARE_FATAL
         self._acked: frozenset[int] = frozenset()  # acknowledged failed world ranks
+        self._freed = False
 
     # -- identity ----------------------------------------------------------
 
@@ -169,6 +170,18 @@ class Comm:
     # mpi4py-style aliases
     Set_errhandler = set_errhandler
     Get_errhandler = get_errhandler
+
+    def _sanitize_request(self, req: Request, buf: Any) -> None:
+        """Register a freshly created nonblocking request with the
+        sanitizer (leak tracking; ndarray send buffers are digested so
+        mutation before completion is detectable)."""
+        san = self.world.sanitizer
+        if san is not None:
+            san.on_request(
+                req,
+                rank=self._world_rank,
+                buf=buf if isinstance(buf, np.ndarray) else None,
+            )
 
     def _maybe_crash(self) -> None:
         """Fault-injection hook at the top of every MPI call: let the
@@ -370,6 +383,7 @@ class Comm:
                 req._eager_status = Status(  # type: ignore[attr-defined]
                     source=self._rank, tag=tag, nbytes=nbytes
                 )
+                self._sanitize_request(req, obj)
                 return req
             return None
         # Rendezvous path.
@@ -387,6 +401,7 @@ class Comm:
             req = Request(self, "isend")
             req._env = env  # type: ignore[attr-defined]
             req._send_tag = tag  # type: ignore[attr-defined]
+            self._sanitize_request(req, obj)
             return req
         with self.world.lock:
             self.world.check_abort_locked()
@@ -443,16 +458,24 @@ class Comm:
             f"MPI_Recv(source={source if source != ANY_SOURCE else 'ANY_SOURCE'}, "
             f"tag={tag if tag != ANY_TAG else 'ANY_TAG'})"
         )
+        san = self.world.sanitizer
+        hold = san is not None and (world_src == ANY_SOURCE or tag == ANY_TAG)
         with self.world.lock:
             self.world.check_abort_locked()
             queues = self.world.queues[me]
-            env = queues.take_unexpected(world_src, tag, self.cid)
+            # Under an active sanitizer a wildcard receive never matches
+            # eagerly: it is *held* and resolved by the deadlock checker
+            # at the next global stall, where the candidate set — and
+            # therefore the whole execution — is schedule-independent.
+            env = None if hold else queues.take_unexpected(world_src, tag, self.cid)
             if env is None:
                 pr = PostedRecv(
                     dest=me, source=world_src, tag=tag, comm_cid=self.cid,
-                    post_time=t_post,
+                    post_time=t_post, hold=hold,
                 )
                 queues.post(pr)
+                if hold:
+                    self.world.wildcard_holds[me] = pr
                 try:
                     env = self.world.block(
                         me,
@@ -470,6 +493,9 @@ class Comm:
                     # Leave no dangling posted receive on the dead comm.
                     queues.cancel(pr)
                     raise
+                finally:
+                    if hold:
+                        self.world.wildcard_holds.pop(me, None)
             completion = self._complete_match_locked(env)
             if deadline is not None and completion > deadline:
                 # Matched, but the payload lands after the deadline: put
@@ -546,6 +572,7 @@ class Comm:
             me, "p2p", "MPI_Irecv", 0,
             req._post_time, req._post_time, cid=self.cid,  # type: ignore[attr-defined]
         )
+        self._sanitize_request(req, None)
         return req
 
     # -- request completion (called by Request) ---------------------------------
@@ -766,6 +793,16 @@ class Comm:
         self._check_revoked(spec.primitive)
         me = self._world_rank
         t0 = self._clock.now
+        san = self.world.sanitizer
+        if san is not None:
+            # Log the call *before* matching so a mismatch diagnostic can
+            # reconstruct what every rank — including the raiser — asked for.
+            san.on_collective(
+                self.cid, me, self._rank, kind, root,
+                len(contribution)
+                if isinstance(contribution, (list, tuple))
+                else None,
+            )
         with self.world.lock:
             self.world.check_abort_locked()
             table = self.world.coll_table(self.cid)
@@ -1006,13 +1043,39 @@ class Comm:
             (self.cid, self._split_count, color), group_world
         )
         new_rank = [r for (_k, r) in members].index(self._rank)
-        return Comm(self.world, cid, new_rank)
+        new = Comm(self.world, cid, new_rank)
+        san = self.world.sanitizer
+        if san is not None:
+            san.on_comm_created(new)
+        return new
 
     def dup(self) -> "Comm":
         """Duplicate the communicator (independent collective sequence)."""
         new = self.split(color=0, key=self._rank)
         assert new is not None
         return new
+
+    def free(self) -> None:
+        """Release this rank's handle on the communicator (``MPI_Comm_free``).
+
+        Purely a bookkeeping call in the simulator — contexts are garbage
+        collected — but MPI requires it, and the sanitizer
+        (:mod:`repro.sanitize`) reports communicators created by
+        :meth:`split`/:meth:`dup` that were never freed.  Calling it
+        twice on the same handle is an error, as in MPI.
+        """
+        if self._freed:
+            raise SMPIError(
+                f"MPI_Comm_free: communicator {self.cid} already freed on "
+                f"rank {self._rank}"
+            )
+        self._freed = True
+        san = self.world.sanitizer
+        if san is not None:
+            san.on_comm_freed(self)
+
+    # mpi4py-style alias
+    Free = free
 
     def create_cart(self, dims=None, periods=None, ndims: int = 1):
         """Attach a Cartesian grid topology (``MPI_Cart_create``).

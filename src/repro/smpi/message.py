@@ -71,6 +71,10 @@ class PostedRecv:
     comm_cid: int
     post_time: float
     envelope: Optional[Envelope] = None
+    #: a *held* receive never matches eagerly in :meth:`match_arriving`;
+    #: the deadlock checker resolves it at a global stall, where queue
+    #: contents are deterministic (the sanitizer's race-replay substrate).
+    hold: bool = False
     seq: int = field(default_factory=lambda: next(_seq_counter))
 
     @property
@@ -96,6 +100,8 @@ class MatchingQueues:
         ``None`` after appending the envelope to the unexpected queue.
         """
         for i, pr in enumerate(self.posted):
+            if pr.hold:
+                continue
             if pr.accepts(env):
                 pr.envelope = env
                 del self.posted[i]
@@ -115,6 +121,22 @@ class MatchingQueues:
                 del self.unexpected[i]
                 return env
         return None
+
+    def first_matching_per_source(
+        self, source: int, tag: int, comm_cid: int
+    ) -> list[Envelope]:
+        """The head-of-line matchable envelope of each source.
+
+        Scans the unexpected queue in arrival order and keeps only the
+        *first* matching envelope per source — the only one a receive may
+        legally take under non-overtaking.  The sanitizer's wildcard-hold
+        resolver chooses among exactly this candidate set.
+        """
+        firsts: dict[int, Envelope] = {}
+        for env in self.unexpected:
+            if env.matches(source, tag, comm_cid) and env.source not in firsts:
+                firsts[env.source] = env
+        return list(firsts.values())
 
     def peek_unexpected(self, source: int, tag: int, comm_cid: int) -> Optional[Envelope]:
         """Return (without removing) the first matching unexpected envelope."""

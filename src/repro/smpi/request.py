@@ -39,6 +39,11 @@ class Request:
         self._complete = True
         self._payload = payload
         self._status = status
+        # Every request completion funnels through here — the one hook
+        # site the sanitizer needs for leak and buffer-safety tracking.
+        san = self._comm.world.sanitizer
+        if san is not None:
+            san.on_request_done(self)
 
     def wait(self, status: Optional[Status] = None, timeout: Optional[float] = None) -> Any:
         """Block until complete; returns the received object for

@@ -47,6 +47,13 @@ from repro.smpi.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.plan import FaultPlan
+    from repro.sanitize.sanitizer import Sanitizer
+
+#: Ambient sanitizer installed by :func:`repro.sanitize.capture` — lets
+#: the sanitizer intercept worlds created deep inside workload runners
+#: (e.g. the pitfall demos call :func:`run` themselves) without changing
+#: their signatures.  An explicit ``sanitizer=`` argument wins.
+_active_sanitizer: Optional["Sanitizer"] = None
 
 #: hang guard — re-check loop period (real seconds); never hit in practice.
 #: Every state change that can unblock or kill a waiter (message delivery,
@@ -91,6 +98,7 @@ class World:
         trace: bool = True,
         external_demand: Optional[dict[int, float]] = None,
         faults: Optional["FaultPlan"] = None,
+        sanitizer: Optional["Sanitizer"] = None,
     ):
         if nprocs < 1:
             raise SMPIError(f"nprocs must be >= 1, got {nprocs}")
@@ -127,6 +135,12 @@ class World:
         self.blocked: dict[int, _BlockInfo] = {}
         self.abort_exc: Optional[BaseException] = None
         self.abort_origin: str = ""
+        # The sanitizer hook object (repro.sanitize).  None on the hot
+        # path: every hook site gates on ``world.sanitizer is not None``
+        # so a plain run pays a single attribute load, nothing more.
+        self.sanitizer = sanitizer if sanitizer is not None else _active_sanitizer
+        #: rank -> held wildcard PostedRecv awaiting stall-time resolution
+        self.wildcard_holds: dict[int, PostedRecv] = {}
         self.faults = None
         if faults is not None and not faults.empty:
             # Local import: repro.faults depends on repro.smpi for types.
@@ -272,9 +286,15 @@ class World:
             self.blocked[rank] = info
             try:
                 self._deadlock_check_locked()
-                # The check may have timed *us* out or aborted the world;
+                # The check may have timed *us* out, aborted the world, or
+                # satisfied our own wait (a held wildcard receive resolves
+                # inside our entry check, notifying before we park);
                 # re-loop instead of waiting on a notify we already missed.
-                if not info.timed_out and self.abort_exc is None:
+                if (
+                    not info.timed_out
+                    and self.abort_exc is None
+                    and not can_proceed()
+                ):
                     self.cond.wait(timeout=_POLL_TIMEOUT)
             finally:
                 self.blocked.pop(rank, None)
@@ -285,6 +305,16 @@ class World:
         if not self.live or len(self.blocked) < len(self.live):
             return
         if any(info.can_proceed() for info in self.blocked.values()):
+            return
+        # True quiescence: every live rank is blocked and none can make
+        # progress.  Sanitized wildcard receives are *held* — they never
+        # match eagerly — and are resolved only here, where the queues
+        # hold the maximal progress closure of the program: a state that
+        # is unique regardless of OS thread interleaving (deliveries and
+        # completions are monotone), so the candidate set — and with it
+        # the whole sanitized execution — is deterministic.  Resolve one
+        # hold, wake its waiter, and let the world run on.
+        if self.wildcard_holds and self._resolve_wildcard_holds_locked():
             return
         # The world has stalled.  Escape hatches fire before anyone
         # declares deadlock, in order of definitiveness:
@@ -326,6 +356,12 @@ class World:
         ):
             self.cond.notify_all()
             return
+        if self.sanitizer is not None:
+            self.sanitizer.on_deadlock(
+                {r: i.description for r, i in self.blocked.items()},
+                set(self.live),
+                set(self.crashed),
+            )
         lines = [
             f"  rank {rank}: {info.description}"
             for rank, info in sorted(self.blocked.items())
@@ -336,6 +372,47 @@ class World:
         )
         self.abort_origin = "deadlock"
         self.cond.notify_all()
+
+    def _resolve_wildcard_holds_locked(self) -> bool:
+        """Match one held wildcard receive at a global stall.
+
+        Candidates are the head-of-line matchable envelope of each
+        source (non-overtaking).  The sanitizer's ``match_order`` picks
+        deterministically among them by ``(send_time, source)`` —
+        ``"first"`` takes the earliest send, ``"last"`` the latest; a
+        replay that flips the order perturbs exactly the schedule
+        freedom MPI grants a wildcard receive, nothing else.  Returns
+        True if a hold was resolved (the stall is over).
+        """
+        san = self.sanitizer
+        for rank in sorted(self.wildcard_holds):
+            pr = self.wildcard_holds[rank]
+            if pr.envelope is not None:
+                continue
+            q = self.queues[pr.dest]
+            candidates = q.first_matching_per_source(pr.source, pr.tag, pr.comm_cid)
+            if not candidates:
+                continue
+            chosen = (max if san is not None and san.match_order == "last" else min)(
+                candidates, key=lambda env: (env.send_time, env.source)
+            )
+            q.unexpected.remove(chosen)
+            q.cancel(pr)
+            pr.envelope = chosen
+            del self.wildcard_holds[rank]
+            if san is not None:
+                san.on_wildcard_match(pr, chosen, candidates)
+                now = self.clocks[pr.dest].now
+                self.tracer.record(
+                    pr.dest, "sanitize", "wildcard_match", chosen.nbytes,
+                    now, now, peer=chosen.source, cid=pr.comm_cid,
+                )
+                self.metrics.counter(
+                    "smpi.sanitize.wildcard_matches", rank=pr.dest
+                ).inc()
+            self.cond.notify_all()
+            return True
+        return False
 
     def abort(self, exc: BaseException, origin: str) -> None:
         """Abort the world (first error wins); wakes every blocked rank."""
@@ -480,6 +557,7 @@ def launch(
     trace: bool = True,
     external_demand: Optional[dict[int, float]] = None,
     faults: Optional["FaultPlan"] = None,
+    sanitizer: Optional["Sanitizer"] = None,
     check: bool = True,
     **kwargs: Any,
 ) -> RunResult:
@@ -505,7 +583,10 @@ def launch(
         trace=trace,
         external_demand=external_demand,
         faults=faults,
+        sanitizer=sanitizer,
     )
+    if world.sanitizer is not None:
+        world.sanitizer.on_world_start(world)
     world_cid = world.new_comm_cid(range(nprocs))
     comms = [Comm(world, world_cid, rank) for rank in range(nprocs)]
     results: list[Any] = [None] * nprocs
@@ -530,6 +611,8 @@ def launch(
         t.start()
     for t in threads:
         t.join()
+    if world.sanitizer is not None:
+        world.sanitizer.on_world_finish(world, results, world.abort_exc)
     if world.abort_exc is not None:
         if check:
             raise world.abort_exc

@@ -4,7 +4,8 @@ The visual counterpart of Module 5's compute/communication breakdown:
 one lane per rank, virtual time on the x-axis, glyphs by category —
 ``#`` compute, ``~`` point-to-point, ``=`` collective, ``!`` fault
 (injected by :mod:`repro.faults`), ``R`` recovery (revoke/shrink/agree/
-checkpoint, :mod:`repro.recovery`), ``.`` idle (time with no recorded
+checkpoint, :mod:`repro.recovery`), ``S`` sanitizer (wildcard matches
+and findings, :mod:`repro.sanitize`), ``.`` idle (time with no recorded
 activity, usually waiting inside a later-recorded blocking call's
 span).
 """
@@ -22,6 +23,7 @@ _GLYPHS = {
     "collective": "=",
     "fault": "!",
     "recovery": "R",
+    "sanitize": "S",
 }
 
 
@@ -48,6 +50,7 @@ def render_timeline(
         raise ValidationError("timeline horizon must be positive")
     priority = {
         "compute": 0, "p2p": 1, "collective": 2, "fault": 3, "recovery": 4,
+        "sanitize": 5,
     }
     lines = []
     for rank in ranks:
@@ -70,6 +73,6 @@ def render_timeline(
     )
     legend = (
         "          # compute   ~ point-to-point   = collective   ! fault"
-        "   R recovery"
+        "   R recovery   S sanitize"
     )
     return "\n".join([header] + lines + [legend])

@@ -8,7 +8,14 @@ from repro.modules.pitfalls import PITFALLS, demonstrate, demonstrate_all, pitfa
 
 def test_catalog_size_and_names_unique():
     names = [p.name for p in PITFALLS]
-    assert len(names) == len(set(names)) == 10
+    assert len(names) == len(set(names)) == 14
+
+
+def test_every_pitfall_names_its_sanitizer_diagnostic():
+    from repro.sanitize import ERROR_CODES, WARNING_CODES
+
+    for p in PITFALLS:
+        assert p.sanitize_code in ERROR_CODES | WARNING_CODES, p.name
 
 
 @pytest.mark.parametrize("name", [p.name for p in PITFALLS])

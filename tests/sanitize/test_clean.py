@@ -1,0 +1,61 @@
+"""Every canonical module workload passes the sanitizer clean.
+
+This is the other half of the corpus contract: the sanitizer flags each
+cataloged bug *and* stays silent on every correct solution — including
+Module 3's sort, whose ``ANY_SOURCE`` bucket receives are a benign race
+the replay must refute, and runs under fault injection, where crashed
+ranks must not be blamed for leaks.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.sanitize import sanitize_workload
+
+# Small parameters: the full suite must stay fast.
+CASES = [
+    ("ring", {}),
+    ("pingpong", {}),
+    ("randomcomm", {}),
+    ("distance", dict(n=256, dims=8, tile=64)),
+    ("sort", dict(n_per_rank=200)),
+    ("kmeans", dict(n=256, max_iter=3)),
+    ("stencil", dict(n_local=256, iterations=2)),
+    ("resilient", dict(n_terms=1 << 10)),
+]
+
+
+@pytest.mark.parametrize("name,params", CASES, ids=[c[0] for c in CASES])
+def test_workload_is_clean(name, params):
+    report = sanitize_workload(name, **params)
+    assert report.outcome == "clean", report.render()
+    assert report.exit_code == 0
+    assert report.error == ""
+
+
+def test_sort_race_candidates_are_refuted_not_confirmed():
+    report = sanitize_workload("sort", n_per_rank=200)
+    assert report.stats["race_candidates"] > 0
+    assert report.stats["races_confirmed"] == 0
+    assert report.stats["races_refuted"] == report.stats["race_candidates"]
+    assert report.replayed
+
+
+def test_resilient_survives_crash_with_no_leak_blame():
+    # Rank 2 dies mid-run; the drill degrades gracefully and the
+    # sanitizer must not charge the corpse with leaked requests.
+    plan = FaultPlan().crash(2, on_nth_send=1)
+    report = sanitize_workload("resilient", n_terms=1 << 10, faults=plan)
+    assert report.outcome == "clean", report.render()
+    assert report.error == ""
+
+
+def test_aborted_run_reports_the_crash_not_leaks():
+    # A non-resilient workload dies under the same crash: the abort is
+    # an error finding, and leak warnings are suppressed (the program
+    # never got the chance to clean up).
+    plan = FaultPlan().crash(1, on_nth_send=1)
+    report = sanitize_workload("ring", faults=plan)
+    assert report.outcome == "errors"
+    assert report.error == "SmpiProcFailedError"
+    assert all(f.severity == "error" for f in report.findings)

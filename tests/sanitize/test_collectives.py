@@ -1,0 +1,73 @@
+"""Collective-mismatch triage: kind, root, count, order, dropouts."""
+
+from repro import smpi
+from repro.sanitize import sanitize_invoke, sanitize_pitfall
+
+
+def test_kind_mismatch_names_both_calls():
+    report = sanitize_pitfall("mismatched-collectives")
+    [f] = report.errors
+    assert f.code == "collective-mismatch"
+    assert "bcast" in f.message and "barrier" in f.message
+
+
+def test_root_mismatch_lists_the_disagreeing_roots():
+    report = sanitize_pitfall("disagreeing-roots")
+    [f] = report.errors
+    assert f.code == "collective-root-mismatch"
+    assert "root" in f.message
+
+
+def test_dropout_names_the_missing_rank():
+    report = sanitize_pitfall("collective-skipped")
+    [f] = report.errors
+    assert f.code == "collective-dropout"
+    assert "rank(s) [0]" in f.message  # rank 0 returned early
+
+
+def test_out_of_order_collectives_flagged_at_call_site():
+    def invoke():
+        def fn(comm):
+            if comm.rank == 0:
+                comm.barrier()
+                comm.allreduce(1, op=smpi.SUM)
+            else:
+                comm.allreduce(1, op=smpi.SUM)
+                comm.barrier()
+
+        smpi.run(2, fn)
+
+    report = sanitize_invoke("out-of-order", invoke)
+    assert report.outcome == "errors"
+    assert "collective-mismatch" in report.codes()
+
+
+def test_matching_collective_sequence_is_clean():
+    def invoke():
+        def fn(comm):
+            comm.barrier()
+            total = comm.allreduce(comm.rank, op=smpi.SUM)
+            comm.bcast(total, root=0)
+            return total
+
+        smpi.run(4, fn)
+
+    report = sanitize_invoke("matched", invoke)
+    assert report.outcome == "clean"
+    assert report.stats["collective_calls"] == 12  # 3 calls x 4 ranks
+
+
+def test_collective_call_log_is_per_communicator():
+    # Split comms run independent collective sequences; the sanitizer
+    # must not conflate call indices across communicators.
+    def invoke():
+        def fn(comm):
+            half = comm.split(color=comm.rank % 2)
+            half.allreduce(1, op=smpi.SUM)
+            comm.barrier()
+            half.free()
+
+        smpi.run(4, fn)
+
+    report = sanitize_invoke("split-collectives", invoke)
+    assert report.outcome == "clean", report.render()

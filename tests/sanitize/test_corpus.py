@@ -1,0 +1,46 @@
+"""The pitfalls catalog is the sanitizer's regression fixture.
+
+Every cataloged bug — loud or silent — must surface its documented
+``sanitize_code`` diagnostic, and nothing the catalog doesn't claim.
+"""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.modules.pitfalls import PITFALLS
+from repro.sanitize import sanitize_corpus, sanitize_pitfall
+
+
+@pytest.mark.parametrize("p", PITFALLS, ids=[p.name for p in PITFALLS])
+def test_pitfall_surfaces_its_documented_diagnostic(p):
+    report = sanitize_pitfall(p.name)
+    assert p.sanitize_code in report.codes(), (p.name, report.render())
+
+
+@pytest.mark.parametrize("p", PITFALLS, ids=[p.name for p in PITFALLS])
+def test_pitfall_reports_nothing_beyond_its_diagnostic(p):
+    # One bug per entry: the sanitizer must not drown the signal in
+    # spurious secondary findings.
+    report = sanitize_pitfall(p.name)
+    assert report.codes() == (p.sanitize_code,), (p.name, report.render())
+
+
+def test_corpus_sweep_all_ok():
+    entries = sanitize_corpus()
+    assert len(entries) == len(PITFALLS)
+    missed = [e.name for e in entries if not e.ok]
+    assert not missed
+
+
+def test_silent_pitfalls_are_the_sanitizers_exclusive_beat():
+    # The entries the runtime cannot diagnose with an exception are
+    # exactly the ones whose finding only the sanitizer can produce.
+    silent = {p.name for p in PITFALLS if p.expected_error is None}
+    assert silent == {
+        "wildcard-race", "unwaited-isend", "isend-buffer-reuse", "unfreed-comm",
+    }
+
+
+def test_unknown_pitfall_rejected():
+    with pytest.raises(ValidationError):
+        sanitize_pitfall("forgot-to-initialize")

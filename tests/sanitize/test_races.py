@@ -1,0 +1,109 @@
+"""Message-race detection: candidates, replay verdicts, determinism."""
+
+import numpy as np
+
+from repro import smpi
+from repro.sanitize import sanitize_invoke, sanitize_pitfall
+
+
+def _racy_order_dependent():
+    def fn(comm):
+        if comm.rank == 0:
+            first = comm.recv(source=smpi.ANY_SOURCE, tag=1)
+            second = comm.recv(source=smpi.ANY_SOURCE, tag=1)
+            return first * 10 + second
+        comm.send(float(comm.rank), dest=0, tag=1)
+        return None
+
+    smpi.run(3, fn)
+
+
+def _racy_but_commutative():
+    def fn(comm):
+        if comm.rank == 0:
+            total = 0.0
+            for _ in range(comm.size - 1):
+                total += comm.recv(source=smpi.ANY_SOURCE, tag=1)
+            return total  # sum is order-independent
+        comm.send(float(comm.rank), dest=0, tag=1)
+        return None
+
+    smpi.run(4, fn)
+
+
+def _no_wildcards():
+    def fn(comm):
+        if comm.rank == 0:
+            return comm.recv(source=1) + comm.recv(source=2)
+        comm.send(float(comm.rank), dest=0)
+        return None
+
+    smpi.run(3, fn)
+
+
+def test_order_dependent_race_confirmed_by_replay():
+    report = sanitize_invoke("racy", _racy_order_dependent)
+    assert report.outcome == "errors"
+    assert "message-race" in report.codes()
+    assert report.replayed
+    assert report.stats["races_confirmed"] == 1
+
+
+def test_commutative_wildcard_refuted_by_replay():
+    report = sanitize_invoke("commutative", _racy_but_commutative)
+    assert report.outcome == "clean", report.render()
+    assert report.stats["race_candidates"] >= 1
+    assert report.stats["races_confirmed"] == 0
+
+
+def test_named_sources_produce_no_candidates():
+    report = sanitize_invoke("named", _no_wildcards)
+    assert report.outcome == "clean"
+    assert report.stats["race_candidates"] == 0
+    assert not report.replayed
+
+
+def test_no_replay_degrades_to_warning():
+    report = sanitize_invoke("racy", _racy_order_dependent, replay=False)
+    assert not report.replayed
+    assert report.outcome == "warnings"
+    assert "message-race-candidate" in report.codes()
+
+
+def test_reports_are_byte_identical_across_reruns():
+    a = sanitize_invoke("racy", _racy_order_dependent)
+    b = sanitize_invoke("racy", _racy_order_dependent)
+    assert a.render() == b.render()
+    assert a.digest == b.digest
+
+
+def test_refuting_report_is_deterministic_too():
+    a = sanitize_invoke("commutative", _racy_but_commutative)
+    b = sanitize_invoke("commutative", _racy_but_commutative)
+    assert a.render() == b.render()
+
+
+def test_wildcard_race_pitfall_round_trips():
+    a = sanitize_pitfall("wildcard-race")
+    b = sanitize_pitfall("wildcard-race")
+    assert a.render() == b.render()
+    assert a.exit_code == 2
+
+
+def test_sanitized_run_still_computes_the_right_answer():
+    # The hold-at-quiescence matching must not change program semantics
+    # for deterministic receives.
+    captured = {}
+
+    def invoke():
+        def fn(comm):
+            data = np.arange(16.0) * (comm.rank + 1)
+            total = comm.allreduce(data, op=smpi.SUM)
+            return float(total.sum())
+
+        captured["results"] = smpi.run(4, fn)
+
+    report = sanitize_invoke("allreduce", invoke)
+    assert report.outcome == "clean"
+    expected = float((np.arange(16.0) * 10).sum())
+    assert captured["results"] == [expected] * 4

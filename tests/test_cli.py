@@ -128,3 +128,60 @@ def test_run_json_output(capsys):
     assert record["id"] == "T3"
     assert record["passed"] is True
     assert all(record["checks"].values())
+
+
+def test_sanitize_clean_workload(capsys):
+    assert main(["sanitize", "sort", "-p", "n_per_rank=200"]) == 0
+    out = capsys.readouterr().out
+    assert "outcome:   clean" in out
+    assert "race replay ran" in out
+
+
+def test_sanitize_confirmed_race_exits_2(capsys):
+    assert main(["sanitize", "--pitfall", "wildcard-race"]) == 2
+    out = capsys.readouterr().out
+    assert "message-race" in out
+    assert "outcome:   errors" in out
+
+
+def test_sanitize_warning_exits_1(capsys):
+    assert main(["sanitize", "--pitfall", "unwaited-isend"]) == 1
+    out = capsys.readouterr().out
+    assert "request-leak" in out
+
+
+def test_sanitize_no_replay_degrades(capsys):
+    assert main(["sanitize", "--pitfall", "wildcard-race", "--no-replay"]) == 1
+    out = capsys.readouterr().out
+    assert "message-race-candidate" in out
+
+
+def test_sanitize_corpus_sweep(capsys):
+    assert main(["sanitize", "--pitfalls"]) == 0
+    out = capsys.readouterr().out
+    assert "14 pitfalls swept, 14 diagnosed as documented" in out
+
+
+def test_sanitize_list(capsys):
+    assert main(["sanitize", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "sort" in out and "wildcard-race" in out
+
+
+def test_sanitize_requires_workload(capsys):
+    assert main(["sanitize"]) == 3
+    assert "WORKLOAD" in capsys.readouterr().err
+
+
+def test_sanitize_bad_param(capsys):
+    assert main(["sanitize", "ring", "-p", "oops"]) == 3
+    assert "key=value" in capsys.readouterr().err
+
+
+def test_sanitize_under_fault_plan(tmp_path, capsys):
+    plan = tmp_path / "crash.toml"
+    plan.write_text("[[crash]]\nrank = 2\non_nth_send = 1\n")
+    assert main(
+        ["sanitize", "resilient", "-p", "n_terms=1024", "--plan", str(plan)]
+    ) == 0
+    assert "outcome:   clean" in capsys.readouterr().out

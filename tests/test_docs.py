@@ -109,3 +109,138 @@ def test_every_index_link_target_exists():
     assert targets, "index.md should contain markdown links"
     for target in targets:
         assert (docs_dir / target).exists(), f"index.md links missing {target}"
+
+
+# ---------------------------------------------------------------------------
+# The handouts are executable: every fenced python/shell block runs.
+# ---------------------------------------------------------------------------
+
+_FENCE = re.compile(r"```(\w*)\n(.*?)```", re.S)
+_TOML_NAME = re.compile(r"^#\s*([\w-]+\.toml)\s*$")
+# Only the deterministic runtime-tool subcommands run from docs; the
+# evaluation commands (`run`, `all`) have their own tests and are too
+# slow to re-run per doc block.
+_RUNNABLE_SHELL = re.compile(
+    r"^python -m repro (?:trace|faults|recover|sanitize)\b"
+)
+
+
+def _blocks(path, *langs):
+    return [
+        body for lang, body in _FENCE.findall(path.read_text()) if lang in langs
+    ]
+
+
+def _named_toml_blocks():
+    """All ``# name.toml``-headed toml blocks across every handout.
+
+    They are shared: cli.md legitimately references plans defined in the
+    module handouts, so each doc's scratch directory is seeded with all
+    of them.  Duplicate names must carry identical content.
+    """
+    plans = {}
+    for path in DOCS:
+        for body in _blocks(path, "toml"):
+            first, _, rest = body.partition("\n")
+            m = _TOML_NAME.match(first.strip())
+            if not m:
+                continue
+            name = m.group(1)
+            if name in plans and plans[name] != body:
+                raise AssertionError(f"conflicting definitions of {name}")
+            plans[name] = body
+    return plans
+
+
+def test_every_fenced_toml_plan_parses(tmp_path):
+    from repro.faults import FaultPlan
+
+    plans = _named_toml_blocks()
+    assert {"drill.toml", "one_drop.toml", "crash.toml", "slow.toml",
+            "one_crash.toml"} <= set(plans)
+    for name, body in plans.items():
+        target = tmp_path / name
+        target.write_text(body)
+        FaultPlan.from_toml(str(target))  # raises on a rotten plan
+
+
+_PY_DOCS = [p for p in DOCS if _blocks(p, "python")]
+
+
+@pytest.mark.parametrize("path", _PY_DOCS, ids=lambda p: p.name)
+def test_python_blocks_execute(path, tmp_path, monkeypatch):
+    """Run each handout's python blocks, in order, in one namespace
+    (later blocks may build on earlier ones, as in a lecture)."""
+    monkeypatch.chdir(tmp_path)  # blocks may write artifact files
+    namespace = {"__name__": f"doc_{path.stem}"}
+    for i, body in enumerate(_blocks(path, "python")):
+        code = compile(body, f"{path.name}[python block {i}]", "exec")
+        exec(code, namespace)  # noqa: S102 - executing our own docs
+
+
+_SH_DOCS = [p for p in DOCS if _blocks(p, "bash", "shell", "sh")]
+
+
+@pytest.mark.parametrize("path", _SH_DOCS, ids=lambda p: p.name)
+def test_shell_blocks_execute(path, tmp_path):
+    """Run each handout's ``python -m repro`` command lines.
+
+    Other lines (sbatch scripts, pip installs, plain comments) are
+    illustrative and skipped.  `sanitize` legitimately exits 1/2 on the
+    bug corpus; everything else must exit 0.
+    """
+    import os
+    import subprocess
+    import sys
+
+    for name, body in _named_toml_blocks().items():
+        (tmp_path / name).write_text(body)
+    env = dict(os.environ)
+    root = pathlib.Path(__file__).parent.parent
+    env["PYTHONPATH"] = str(root / "src")
+    ran = 0
+    for body in _blocks(path, "bash", "shell", "sh"):
+        for line in body.splitlines():
+            line = line.strip()
+            if not _RUNNABLE_SHELL.match(line):
+                continue
+            proc = subprocess.run(
+                line.replace("python ", f"{sys.executable} ", 1),
+                shell=True, cwd=tmp_path, env=env,
+                capture_output=True, text=True, timeout=300,
+            )
+            allowed = {0, 1, 2} if " sanitize" in line else {0}
+            assert proc.returncode in allowed, (
+                f"{path.name}: `{line}` exited {proc.returncode}\n"
+                f"{proc.stdout}\n{proc.stderr}"
+            )
+            ran += 1
+    if not ran:  # e.g. module0's illustrative sbatch script
+        pytest.skip(f"{path.name}: no `python -m repro` lines to run")
+
+
+# ---------------------------------------------------------------------------
+# Link check: every relative markdown link in docs/ and README.md
+# points at a file that exists.
+# ---------------------------------------------------------------------------
+
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
+
+
+def _relative_link_targets(path):
+    for target in _MD_LINK.findall(path.read_text()):
+        if not target.startswith(("http://", "https://", "mailto:")):
+            yield target
+
+
+@pytest.mark.parametrize(
+    "path",
+    DOCS + [pathlib.Path(__file__).parent.parent / "README.md"],
+    ids=lambda p: p.name,
+)
+def test_every_relative_link_resolves(path):
+    broken = [
+        t for t in _relative_link_targets(path)
+        if not (path.parent / t).exists()
+    ]
+    assert not broken, f"{path.name} has broken links: {broken}"

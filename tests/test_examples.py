@@ -46,5 +46,5 @@ def test_evaluation_report(capsys):
 
 def test_pitfalls_gallery(capsys):
     out = run_example("pitfalls_gallery.py", capsys)
-    assert "10 pitfalls, all caught." in out
+    assert "14 pitfalls, all caught." in out
     assert "NOT DIAGNOSED" not in out

@@ -23,7 +23,22 @@ from repro.harness.profile import (
     memory_bound_fraction,
     profile_from_run,
 )
-from repro.harness.kernels import module_kernel_roofline, module_kernels
+from repro.harness.kernels import (
+    KERNEL_BACKEND,
+    histogram_cuts,
+    kmeans_assign,
+    kmeans_update,
+    centroid_step,
+    module_kernel_roofline,
+    module_kernels,
+    pairwise_block,
+)
+from repro.harness.stress import (
+    fanin_storm,
+    mixed_workload,
+    p2p_storm,
+    stress_digest,
+)
 
 __all__ = [
     "ScalingResult",
@@ -40,4 +55,14 @@ __all__ = [
     "imbalance_from_run",
     "module_kernel_roofline",
     "module_kernels",
+    "KERNEL_BACKEND",
+    "pairwise_block",
+    "kmeans_assign",
+    "kmeans_update",
+    "centroid_step",
+    "histogram_cuts",
+    "mixed_workload",
+    "p2p_storm",
+    "fanin_storm",
+    "stress_digest",
 ]

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.cluster.memory import CacheSim, CacheStats
 from repro.data import feature_vectors, partition_points
+from repro.harness.kernels import pairwise_block
 from repro.smpi import MAX, SUM
 from repro.util.validation import check_points, check_positive
 
@@ -47,16 +48,14 @@ CACHE_OCCUPANCY = 0.75
 def pairwise_distances(a: np.ndarray, b: Optional[np.ndarray] = None) -> np.ndarray:
     """Euclidean distance matrix between rows of ``a`` and rows of ``b``.
 
-    The row-wise reference kernel (vectorized; numerically clipped so
-    round-off never yields NaN on the diagonal).
+    The row-wise reference kernel.  The numerics live in
+    :func:`repro.harness.kernels.pairwise_block` (vectorized numpy or the
+    pure-Python fallback, selected at import); this wrapper owns the
+    validation.
     """
     a = check_points("a", a)
     b = a if b is None else check_points("b", b, dims=a.shape[1])
-    sq_a = np.einsum("ij,ij->i", a, a)[:, None]
-    sq_b = np.einsum("ij,ij->i", b, b)[None, :]
-    d2 = sq_a + sq_b - 2.0 * (a @ b.T)
-    np.maximum(d2, 0.0, out=d2)
-    return np.sqrt(d2)
+    return pairwise_block(a, b)
 
 
 def pairwise_distances_tiled(

@@ -32,6 +32,7 @@ import numpy as np
 from repro import smpi
 from repro.data import exponential_values, uniform_values
 from repro.errors import ValidationError
+from repro.harness.kernels import histogram_cuts
 from repro.util.rng import spawn_rng
 from repro.util.validation import check_positive, require
 
@@ -81,11 +82,9 @@ def histogram_splitters(sample: np.ndarray, p: int, bins: int = 256) -> np.ndarr
     sample = np.asarray(sample, dtype=np.float64)
     if sample.size == 0:
         raise ValidationError("histogram_splitters needs a non-empty sample")
-    counts, edges = np.histogram(sample, bins=bins)
-    cumulative = np.concatenate([[0], np.cumsum(counts)]).astype(np.float64)
-    targets = np.arange(1, p) * sample.size / p
-    # Interpolate the cumulative histogram to find value cuts.
-    return np.interp(targets, cumulative, edges)
+    # The numerics live in repro.harness.kernels (vectorized numpy or
+    # the pure-Python fallback, selected at import).
+    return histogram_cuts(sample, p, bins)
 
 
 # -- the distributed sort ---------------------------------------------------------

@@ -32,6 +32,7 @@ import numpy as np
 from repro import smpi
 from repro.data import gaussian_mixture, partition_points
 from repro.errors import ValidationError
+from repro.harness.kernels import centroid_step, kmeans_assign, kmeans_update
 from repro.util.rng import SeedLike, spawn_rng
 from repro.util.validation import check_points, check_positive, require
 
@@ -69,22 +70,19 @@ def initial_centroids(points: np.ndarray, k: int, seed: SeedLike = 0) -> np.ndar
 
 
 def assign_points(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
-    """Nearest-centroid label per point (vectorized)."""
-    # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2; ||x||^2 constant per row.
-    cross = points @ centroids.T
-    c2 = np.einsum("ij,ij->i", centroids, centroids)
-    return np.argmin(c2[None, :] - 2.0 * cross, axis=1)
+    """Nearest-centroid label per point.
+
+    Delegates to :func:`repro.harness.kernels.kmeans_assign` (vectorized
+    numpy or the pure-Python fallback, selected at import).
+    """
+    return kmeans_assign(points, centroids)
 
 
 def cluster_sums(
     points: np.ndarray, labels: np.ndarray, k: int
 ) -> tuple[np.ndarray, np.ndarray]:
     """Per-cluster coordinate sums and counts (the "weighted means")."""
-    dims = points.shape[1]
-    sums = np.zeros((k, dims))
-    np.add.at(sums, labels, points)
-    counts = np.bincount(labels, minlength=k).astype(np.float64)
-    return sums, counts
+    return kmeans_update(points, labels, k)
 
 
 def update_centroids(
@@ -92,10 +90,7 @@ def update_centroids(
 ) -> np.ndarray:
     """New centroid positions; clusters that lost all points keep their
     previous position (the standard empty-cluster rule)."""
-    out = previous.copy()
-    nonempty = counts > 0
-    out[nonempty] = sums[nonempty] / counts[nonempty, None]
-    return out
+    return centroid_step(sums, counts, previous)
 
 
 def kmeans_reference(

@@ -63,6 +63,25 @@ class Comm:
         self._errhandler = ERRORS_ARE_FATAL
         self._acked: frozenset[int] = frozenset()  # acknowledged failed world ranks
         self._freed = False
+        # Per-message counter cache: the registry resolves a counter by
+        # building a sorted label tuple under a lock, which costs more
+        # than the message matching itself on the fast path.  Counters
+        # are stable objects, so memoize them per (name, peer, primitive)
+        # — the rank label is fixed for this Comm.
+        self._counter_cache: dict[tuple, Any] = {}
+
+    def _hot_counter(self, name: str, peer: Optional[int], primitive: Optional[str]):
+        key = (name, peer, primitive)
+        ctr = self._counter_cache.get(key)
+        if ctr is None:
+            labels: dict[str, Any] = {"rank": self._world_rank}
+            if peer is not None:
+                labels["peer"] = peer
+            if primitive is not None:
+                labels["primitive"] = primitive
+            ctr = self.world.metrics.counter(name, **labels)
+            self._counter_cache[key] = ctr
+        return ctr
 
     # -- identity ----------------------------------------------------------
 
@@ -357,11 +376,8 @@ class Comm:
             # any duplicate envelopes; a dropped message is never delivered
             # but the sender proceeds normally — exactly a lost packet.
             dropped, duplicates = inj.finalize_send(decision, env)
-        metrics = self.world.metrics
-        metrics.counter(
-            "smpi.bytes_sent", rank=src, peer=world_dst, primitive=primitive
-        ).inc(nbytes)
-        metrics.counter("smpi.messages_sent", rank=src, primitive=primitive).inc()
+        self._hot_counter("smpi.bytes_sent", world_dst, primitive).inc(nbytes)
+        self._hot_counter("smpi.messages_sent", None, primitive).inc()
         if not rendezvous:
             with self.world.lock:
                 self.world.check_abort_locked()
@@ -508,9 +524,7 @@ class Comm:
             me, "p2p", "MPI_Recv", env.nbytes, t_post, self._clock.now,
             peer=env.source, cid=self.cid, msg_id=env.seq,
         )
-        self.world.metrics.counter(
-            "smpi.bytes_recv", rank=me, peer=env.source
-        ).inc(env.nbytes)
+        self._hot_counter("smpi.bytes_recv", env.source, None).inc(env.nbytes)
         self._fill_status(status, env)
         return env.payload
 
@@ -524,7 +538,8 @@ class Comm:
             if env.completion_time is None:
                 env.completion_time = max(env.send_time, now) + env.net_time
                 env.arrival_time = env.completion_time
-                self.world.cond.notify_all()  # wake the blocked sender
+                # Only the rendezvous sender waits on this handshake.
+                self.world.notify_rank_locked(env.source)
             return max(now, env.completion_time)
         return max(now, env.arrival_time if env.arrival_time is not None else now)
 
@@ -559,7 +574,7 @@ class Comm:
                         max(env.send_time, self._clock.now) + env.net_time
                     )
                     env.arrival_time = env.completion_time
-                    self.world.cond.notify_all()
+                    self.world.notify_rank_locked(env.source)
                 req._env = env  # type: ignore[attr-defined]
             else:
                 pr = PostedRecv(
@@ -653,9 +668,7 @@ class Comm:
             me, "p2p", "MPI_Wait", env.nbytes, t_wait, self._clock.now,
             peer=env.source, cid=env.comm_cid, msg_id=env.seq,
         )
-        self.world.metrics.counter(
-            "smpi.bytes_recv", rank=me, peer=env.source
-        ).inc(env.nbytes)
+        self._hot_counter("smpi.bytes_recv", env.source, None).inc(env.nbytes)
         status = Status()
         self._fill_status(status, env)
         payload = env.payload
@@ -811,12 +824,15 @@ class Comm:
                 index, ctx = table.context_for(self._rank, kind)
                 ctx.join(self._rank, contribution, t0, root, op, net)
             except SMPIError as exc:
-                self.world.abort_exc = self.world.abort_exc or exc
-                self.world.abort_origin = self.world.abort_origin or f"rank {self._rank}"
-                self.world.cond.notify_all()
+                # Route through the abort funnel: it sets exc + origin
+                # (first error wins) *then* broadcasts, so a concurrently
+                # woken rank never sees a half-recorded abort.
+                self.world.abort_locked(exc, f"rank {self._rank}")
                 raise
             if ctx.done:
-                self.world.cond.notify_all()
+                # Last rank in: the collective finished for the whole
+                # group — wake exactly its members.
+                self.world.notify_ranks_locked(self.group)
             self.world.block(
                 me,
                 take=lambda: True if ctx.done else None,

@@ -6,10 +6,28 @@ The matching model is the standard two-queue MPI design:
   arrived before a matching receive was posted, and
 * a **posted-receive queue** holding receives waiting for a message.
 
-An arriving send first scans the posted queue; a new receive first scans
-the unexpected queue.  Both scans respect MPI's non-overtaking rule:
+An arriving send first consults the posted queue; a new receive first
+consults the unexpected queue.  Both respect MPI's non-overtaking rule:
 messages from the same source with matching tags are received in the
 order they were sent.
+
+Both queues are *indexed* by the exact match key ``(comm_cid, source,
+tag)``:
+
+* unexpected envelopes live in per-key FIFO deques (the O(1) fast path
+  for exact-source receives and probes) **and** in one arrival-order
+  list shared by all keys, which wildcard scans, probes and the
+  sanitizer's hold resolver walk to preserve exact arrival-order
+  semantics.  Consumed envelopes are tombstoned in the arrival list
+  (``Envelope.taken``) and compacted lazily, so consuming from a deque
+  never pays an O(n) list deletion.
+* posted receives are split into per-key deques (exact receives) and a
+  post-order wildcard side-list (``ANY_SOURCE``/``ANY_TAG``, which is
+  also where sanitizer-``hold`` receives always land).  An arriving
+  envelope probes one deque head plus the — normally empty — wildcard
+  list, and ``PostedRecv.seq`` (post order) breaks ties between the two
+  halves so matching order is identical to the historical single-list
+  scan.
 
 All queue state is guarded by the world lock (see
 :mod:`repro.smpi.runtime`), so methods here assume the caller holds it.
@@ -18,12 +36,17 @@ All queue state is guarded by the world lock (see
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Iterator, Optional
 
 from repro.smpi.datatypes import ANY_SOURCE, ANY_TAG
 
 _seq_counter = itertools.count()
+
+#: compact the arrival-order list once this many tombstones accumulate
+#: *and* they are the majority — amortized O(1) per consumed envelope.
+_COMPACT_MIN_TOMBSTONES = 32
 
 
 @dataclass
@@ -49,6 +72,9 @@ class Envelope:
     completion_time: Optional[float] = None
     comm_cid: int = 0
     seq: int = field(default_factory=lambda: next(_seq_counter))
+    #: tombstone flag: True once consumed from the unexpected queue (the
+    #: arrival-order list keeps the entry until the next lazy compaction).
+    taken: bool = field(default=False, compare=False, repr=False)
 
     def matches(self, source: int, tag: int, comm_cid: int) -> bool:
         """Does this envelope satisfy a receive for ``(source, tag)``?"""
@@ -81,6 +107,10 @@ class PostedRecv:
     def matched(self) -> bool:
         return self.envelope is not None
 
+    @property
+    def wildcard(self) -> bool:
+        return self.source == ANY_SOURCE or self.tag == ANY_TAG
+
     def accepts(self, env: Envelope) -> bool:
         return env.matches(self.source, self.tag, self.comm_cid) and env.dest == self.dest
 
@@ -90,37 +120,176 @@ class MatchingQueues:
 
     def __init__(self, rank: int):
         self.rank = rank
-        self.unexpected: list[Envelope] = []
-        self.posted: list[PostedRecv] = []
+        # unexpected side: per-(cid, source, tag) FIFO deques plus one
+        # arrival-order list with lazy tombstones.
+        self._unexpected_by_key: dict[tuple[int, int, int], deque[Envelope]] = {}
+        self._arrivals: list[Envelope] = []
+        self._tombstones = 0
+        # posted side: per-key deques for exact receives, post-order
+        # side-list for wildcard (ANY_SOURCE/ANY_TAG, incl. held) ones.
+        self._posted_by_key: dict[tuple[int, int, int], deque[PostedRecv]] = {}
+        self._posted_wild: list[PostedRecv] = []
+        #: fast-path instrumentation, published as ``smpi.match.*``
+        #: counters at the end of :func:`repro.smpi.runtime.launch`.
+        self.stats = {
+            "indexed_hits": 0,     # exact-key deque satisfied the lookup
+            "wildcard_scans": 0,   # arrival-order list had to be walked
+            "unexpected_enqueued": 0,
+        }
+
+    # -- read-only views (tests, sanitizer introspection) -----------------
+
+    @property
+    def unexpected(self) -> list[Envelope]:
+        """Live unexpected envelopes in arrival order (a fresh list)."""
+        return [env for env in self._arrivals if not env.taken]
+
+    @property
+    def posted(self) -> list[PostedRecv]:
+        """All posted receives in post order (a fresh list)."""
+        merged = list(self._posted_wild)
+        for dq in self._posted_by_key.values():
+            merged.extend(dq)
+        merged.sort(key=lambda pr: pr.seq)
+        return merged
+
+    # -- internal helpers --------------------------------------------------
+
+    @staticmethod
+    def _key(env: Envelope) -> tuple[int, int, int]:
+        return (env.comm_cid, env.source, env.tag)
+
+    def _maybe_compact(self) -> None:
+        if (
+            self._tombstones >= _COMPACT_MIN_TOMBSTONES
+            and self._tombstones * 2 >= len(self._arrivals)
+        ):
+            self._arrivals = [env for env in self._arrivals if not env.taken]
+            self._tombstones = 0
+
+    def _iter_live(self) -> Iterator[Envelope]:
+        for env in self._arrivals:
+            if not env.taken:
+                yield env
+
+    def _consume(self, env: Envelope, *, popped: bool = False) -> None:
+        """Remove ``env`` from the index and tombstone its arrival entry.
+
+        ``popped=True`` means the caller already removed it from its key
+        deque (the O(1) head pop); otherwise it is unlinked here.
+        """
+        key = self._key(env)
+        if not popped:
+            dq = self._unexpected_by_key[key]
+            if dq and dq[0] is env:
+                dq.popleft()
+            else:
+                dq.remove(env)
+        dq = self._unexpected_by_key.get(key)
+        if dq is not None and not dq:
+            del self._unexpected_by_key[key]
+        env.taken = True
+        self._tombstones += 1
+        self._maybe_compact()
+
+    # -- arriving messages -------------------------------------------------
+
+    def _enqueue_unexpected(self, env: Envelope) -> None:
+        self.stats["unexpected_enqueued"] += 1
+        self._unexpected_by_key.setdefault(self._key(env), deque()).append(env)
+        self._arrivals.append(env)
 
     def match_arriving(self, env: Envelope) -> Optional[PostedRecv]:
         """Try to pair an arriving envelope with a posted receive.
 
         Returns the matched posted receive (removed from the queue), or
         ``None`` after appending the envelope to the unexpected queue.
+        The earliest-*posted* accepting receive wins, exactly as in the
+        historical single-list scan: the exact-key deque head competes
+        with the first accepting wildcard receive on ``seq`` (post
+        order).  Held receives never match eagerly.
         """
-        for i, pr in enumerate(self.posted):
-            if pr.hold:
-                continue
-            if pr.accepts(env):
-                pr.envelope = env
-                del self.posted[i]
-                return pr
-        self.unexpected.append(env)
-        return None
+        key = self._key(env)
+        dq = self._posted_by_key.get(key)
+        exact = dq[0] if dq else None
+        wild = None
+        for pr in self._posted_wild:
+            if not pr.hold and pr.accepts(env):
+                wild = pr
+                break
+        if exact is not None and (wild is None or exact.seq < wild.seq):
+            chosen = exact
+            dq.popleft()
+            if not dq:
+                del self._posted_by_key[key]
+        elif wild is not None:
+            chosen = wild
+            self._posted_wild.remove(wild)
+        else:
+            self._enqueue_unexpected(env)
+            return None
+        chosen.envelope = env
+        return chosen
+
+    # -- posted receives ---------------------------------------------------
+
+    def post(self, pr: PostedRecv) -> None:
+        if pr.wildcard:
+            self._posted_wild.append(pr)
+        else:
+            self._posted_by_key.setdefault(
+                (pr.comm_cid, pr.source, pr.tag), deque()
+            ).append(pr)
+
+    def cancel(self, pr: PostedRecv) -> bool:
+        """Remove an unmatched posted receive; True if it was removed."""
+        if pr.wildcard:
+            try:
+                self._posted_wild.remove(pr)
+                return True
+            except ValueError:
+                return False
+        key = (pr.comm_cid, pr.source, pr.tag)
+        dq = self._posted_by_key.get(key)
+        if dq is None:
+            return False
+        try:
+            dq.remove(pr)
+        except ValueError:
+            return False
+        if not dq:
+            del self._posted_by_key[key]
+        return True
+
+    # -- consuming unexpected messages ------------------------------------
 
     def take_unexpected(self, source: int, tag: int, comm_cid: int) -> Optional[Envelope]:
         """Remove and return the first matching unexpected envelope.
 
         "First" is in arrival order, which preserves non-overtaking for
         any fixed source; under ``ANY_SOURCE`` arrival order is the tie
-        breaker, as in a real MPI.
+        breaker, as in a real MPI.  The exact-key case pops a deque head
+        in O(1); only wildcard receives walk the arrival-order list.
         """
-        for i, env in enumerate(self.unexpected):
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            dq = self._unexpected_by_key.get((comm_cid, source, tag))
+            if not dq:
+                return None
+            env = dq.popleft()
+            self.stats["indexed_hits"] += 1
+            self._consume(env, popped=True)
+            return env
+        self.stats["wildcard_scans"] += 1
+        for env in self._iter_live():
             if env.matches(source, tag, comm_cid):
-                del self.unexpected[i]
+                self._consume(env)
                 return env
         return None
+
+    def remove_unexpected(self, env: Envelope) -> None:
+        """Remove one specific live envelope (the wildcard-hold resolver,
+        which picks among :meth:`first_matching_per_source` candidates)."""
+        self._consume(env)
 
     def first_matching_per_source(
         self, source: int, tag: int, comm_cid: int
@@ -133,14 +302,21 @@ class MatchingQueues:
         resolver chooses among exactly this candidate set.
         """
         firsts: dict[int, Envelope] = {}
-        for env in self.unexpected:
+        for env in self._iter_live():
             if env.matches(source, tag, comm_cid) and env.source not in firsts:
                 firsts[env.source] = env
         return list(firsts.values())
 
     def peek_unexpected(self, source: int, tag: int, comm_cid: int) -> Optional[Envelope]:
         """Return (without removing) the first matching unexpected envelope."""
-        for env in self.unexpected:
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            dq = self._unexpected_by_key.get((comm_cid, source, tag))
+            if dq:
+                self.stats["indexed_hits"] += 1
+                return dq[0]
+            return None
+        self.stats["wildcard_scans"] += 1
+        for env in self._iter_live():
             if env.matches(source, tag, comm_cid):
                 return env
         return None
@@ -152,17 +328,27 @@ class MatchingQueues:
         Used when a ``timeout=`` receive matched a message whose payload
         only lands after the deadline: the receive gives up, but the
         message is still in transit and a retry may take it — front
-        insertion keeps non-overtaking intact for its source.
+        insertion keeps non-overtaking intact for its source (it was the
+        head of its key when taken, so no same-key envelope overtakes).
         """
-        self.unexpected.insert(0, env)
+        env.taken = False
+        # Rare path: rebuild the arrival list without this envelope's old
+        # tombstone (same object — resurrecting it would duplicate the
+        # entry), then put it back at the very front of both structures.
+        self._arrivals = [
+            e for e in self._arrivals if e is not env and not e.taken
+        ]
+        self._tombstones = 0
+        self._arrivals.insert(0, env)
+        self._unexpected_by_key.setdefault(self._key(env), deque()).appendleft(env)
 
-    def post(self, pr: PostedRecv) -> None:
-        self.posted.append(pr)
-
-    def cancel(self, pr: PostedRecv) -> bool:
-        """Remove an unmatched posted receive; True if it was removed."""
-        try:
-            self.posted.remove(pr)
-            return True
-        except ValueError:
-            return False
+    def purge_cid(self, cid: int) -> None:
+        """Drop every unexpected envelope of a revoked communicator."""
+        keep = [
+            env for env in self._arrivals if not env.taken and env.comm_cid != cid
+        ]
+        self._arrivals = keep
+        self._tombstones = 0
+        self._unexpected_by_key = {}
+        for env in keep:
+            self._unexpected_by_key.setdefault(self._key(env), deque()).append(env)

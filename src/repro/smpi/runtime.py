@@ -2,8 +2,22 @@
 
 Each rank runs as an OS thread executing ordinary blocking code against a
 :class:`~repro.smpi.communicator.Comm`.  All shared state (matching
-queues, collective contexts, the blocked-rank set) is guarded by one lock
-with a single condition variable; any state change notifies all waiters.
+queues, collective contexts, the blocked-rank set) is guarded by one
+world lock, but each rank parks on its **own** condition variable (all
+sharing that lock), so an event wakes only the ranks whose wait it could
+have satisfied: a message delivery notifies the destination, a
+rendezvous/handshake completion notifies the sender, a finished
+collective notifies the communicator's group, and only world-scoped
+events (abort, crash, rank exit, revoke, deadlock) broadcast.  This
+eliminates the O(ranks²) thundering herd of the historical single
+``notify_all`` condition.
+
+**Invariant — mutate, then notify, under the lock**: every wakeup goes
+through the ``notify_*_locked`` funnels below, which assert the world
+lock is held; callers must finish *all* shared-state mutation for an
+event before notifying, and must not release the lock in between.  A
+woken rank re-checks its predicate under the same lock, so it can never
+observe a half-updated ``World`` snapshot.
 
 Virtual time: each rank owns a :class:`~repro.smpi.clock.VirtualClock`.
 Point-to-point transfers cost ``alpha + n*beta`` with intra- vs
@@ -57,9 +71,13 @@ _active_sanitizer: Optional["Sanitizer"] = None
 
 #: hang guard — re-check loop period (real seconds); never hit in practice.
 #: Every state change that can unblock or kill a waiter (message delivery,
-#: abort, crash, timeout decision, rank exit) must ``notify_all`` so that
-#: waiters never actually ride this out — tests/smpi/test_abort_promptness.py
-#: asserts propagation is prompt and not busy-waiting.
+#: abort, crash, timeout decision, rank exit) must notify the affected
+#: rank(s) so that waiters never actually ride this out —
+#: tests/smpi/test_abort_promptness.py asserts propagation is prompt and
+#: not busy-waiting.  This fallback is **instrumented, not silent**: a
+#: rank that rides it out and finds its wait resolvable afterwards is a
+#: lost-wakeup bug, counted in the ``smpi.wakeups.missed`` metric and
+#: failed on by the golden stress tests.
 _POLL_TIMEOUT = 10.0
 
 
@@ -127,7 +145,16 @@ class World:
         self.metrics = MetricsRegistry()
 
         self.lock = threading.Lock()
-        self.cond = threading.Condition(self.lock)
+        # One condition per rank, all sharing the world lock: waiters park
+        # on their own condition so events can wake exactly the ranks they
+        # concern (see the module docstring for the notify invariant).
+        self._rank_conds = [threading.Condition(self.lock) for _ in range(nprocs)]
+        #: wakeup accounting (plain ints mutated under the lock; published
+        #: as ``smpi.wakeups.*`` counters at the end of :func:`launch`).
+        #: ``missed`` must stay 0 — a nonzero count means a waiter was
+        #: rescued by the fallback poll, i.e. a targeted notify went
+        #: missing (the lost-wakeup bug class this design removes).
+        self.wakeup_stats = {"targeted": 0, "broadcast": 0, "missed": 0}
         self.queues = [MatchingQueues(r) for r in range(nprocs)]
         self.clocks = [VirtualClock() for _ in range(nprocs)]
         self.live: set[int] = set(range(nprocs))
@@ -222,6 +249,36 @@ class World:
     def is_rendezvous(self, nbytes: int) -> bool:
         return nbytes > self.cluster.network.eager_threshold
 
+    # -- wakeup funnels ----------------------------------------------------
+    #
+    # Every notify in the runtime goes through these three methods.  The
+    # contract (asserted, and documented in the module docstring): the
+    # caller holds the world lock and has *finished mutating* the shared
+    # state that makes the woken rank's predicate true — notify is always
+    # the last step of an event, before the lock is released.
+
+    def notify_rank_locked(self, rank: int) -> None:
+        """Wake one rank's condition (no-op cost if it is not waiting)."""
+        assert self.lock.locked(), "notify requires the world lock (mutate-then-notify)"
+        self.wakeup_stats["targeted"] += 1
+        self._rank_conds[rank].notify_all()
+
+    def notify_ranks_locked(self, ranks: Sequence[int]) -> None:
+        """Wake a set of world ranks (e.g. a communicator group)."""
+        assert self.lock.locked(), "notify requires the world lock (mutate-then-notify)"
+        self.wakeup_stats["targeted"] += len(ranks)
+        conds = self._rank_conds
+        for rank in ranks:
+            conds[rank].notify_all()
+
+    def notify_all_locked(self) -> None:
+        """Broadcast — world-scoped events only (abort, crash, rank exit,
+        revoke, deadlock), where any rank's predicate may have changed."""
+        assert self.lock.locked(), "notify requires the world lock (mutate-then-notify)"
+        self.wakeup_stats["broadcast"] += 1
+        for cond in self._rank_conds:
+            cond.notify_all()
+
     # -- blocking / deadlock ----------------------------------------------
 
     def check_abort_locked(self) -> None:
@@ -266,6 +323,19 @@ class World:
         poisons waits that cannot otherwise resolve.
         """
         info = _BlockInfo(description, can_proceed, deadline, failure, cid)
+        cond = self._rank_conds[rank]
+
+        def _resolvable() -> bool:
+            # Everything the loop head acts on: a true predicate here
+            # means another wait iteration would not park again.
+            return (
+                info.timed_out
+                or self.abort_exc is not None
+                or can_proceed()
+                or (cid is not None and cid in self.revoked_cids)
+                or (failure is not None and failure() is not None)
+            )
+
         while True:
             self.check_abort_locked()
             result = take()
@@ -286,16 +356,21 @@ class World:
             self.blocked[rank] = info
             try:
                 self._deadlock_check_locked()
-                # The check may have timed *us* out, aborted the world, or
+                # The check may have timed *us* out, aborted the world,
                 # satisfied our own wait (a held wildcard receive resolves
-                # inside our entry check, notifying before we park);
-                # re-loop instead of waiting on a notify we already missed.
-                if (
-                    not info.timed_out
-                    and self.abort_exc is None
-                    and not can_proceed()
-                ):
-                    self.cond.wait(timeout=_POLL_TIMEOUT)
+                # inside our entry check), or fired our own failure probe
+                # — all of which notify our condition *before* we park, so
+                # the notify is lost.  Re-loop instead of waiting on it.
+                if _resolvable():
+                    continue
+                if not cond.wait(timeout=_POLL_TIMEOUT):
+                    # The fallback poll fired.  If the wait is resolvable
+                    # *now*, the notify that should have woken us never
+                    # came: a lost wakeup.  The poll used to mask these
+                    # silently — now they are counted and tests fail on
+                    # any nonzero ``smpi.wakeups.missed``.
+                    if _resolvable():
+                        self.wakeup_stats["missed"] += 1
             finally:
                 self.blocked.pop(rank, None)
 
@@ -320,15 +395,15 @@ class World:
         # declares deadlock, in order of definitiveness:
         # 1) a waiter whose failure probe fires (e.g. its peer crashed)
         #    is woken to raise rather than hang.  Probing may itself
-        #    abort the world (the ERRORS_ARE_FATAL path) — that is the
-        #    intended semantic, and the early return below covers it.
-        for info in self.blocked.values():
+        #    abort the world (the ERRORS_ARE_FATAL path, which broadcasts
+        #    through ``abort_locked``) — that is the intended semantic,
+        #    and the early return below covers it.
+        for rank, info in self.blocked.items():
             if info.failure is not None and info.failure() is not None:
-                self.cond.notify_all()
+                self.notify_rank_locked(rank)
                 return
         if self.abort_exc is not None:
-            self.cond.notify_all()
-            return
+            return  # abort_locked already broadcast
         # 2) waiters with a deadline time out (in deadline order, one at
         #    a time — timing out may unstall the rest).
         pending = [
@@ -339,23 +414,27 @@ class World:
         if pending:
             _, rank = min(pending)
             self.blocked[rank].timed_out = True
-            self.cond.notify_all()
+            self.notify_rank_locked(rank)
             return
         # 3) a timeout already handed out but not yet processed (its
         #    waiter holds no lock between being marked and waking up) is
         #    still an escape route, not a deadlock.
-        if any(info.timed_out for info in self.blocked.values()):
-            self.cond.notify_all()
+        timed = [rank for rank, info in self.blocked.items() if info.timed_out]
+        if timed:
+            self.notify_ranks_locked(timed)
             return
         # 4) a waiter blocked on a revoked communicator will raise
         #    SmpiRevokedError on its next wake-up — wake it rather than
         #    declaring the stall a deadlock.
-        if self.revoked_cids and any(
-            info.cid is not None and info.cid in self.revoked_cids
-            for info in self.blocked.values()
-        ):
-            self.cond.notify_all()
-            return
+        if self.revoked_cids:
+            poisoned = [
+                rank
+                for rank, info in self.blocked.items()
+                if info.cid is not None and info.cid in self.revoked_cids
+            ]
+            if poisoned:
+                self.notify_ranks_locked(poisoned)
+                return
         if self.sanitizer is not None:
             self.sanitizer.on_deadlock(
                 {r: i.description for r, i in self.blocked.items()},
@@ -371,7 +450,7 @@ class World:
             "can ever arrive:\n" + "\n".join(lines)
         )
         self.abort_origin = "deadlock"
-        self.cond.notify_all()
+        self.notify_all_locked()
 
     def _resolve_wildcard_holds_locked(self) -> bool:
         """Match one held wildcard receive at a global stall.
@@ -396,7 +475,7 @@ class World:
             chosen = (max if san is not None and san.match_order == "last" else min)(
                 candidates, key=lambda env: (env.send_time, env.source)
             )
-            q.unexpected.remove(chosen)
+            q.remove_unexpected(chosen)
             q.cancel(pr)
             pr.envelope = chosen
             del self.wildcard_holds[rank]
@@ -410,7 +489,12 @@ class World:
                 self.metrics.counter(
                     "smpi.sanitize.wildcard_matches", rank=pr.dest
                 ).inc()
-            self.cond.notify_all()
+            # Only the held receive's owner can have been unblocked (the
+            # resolver runs at a global stall, so everyone else's
+            # predicate is unchanged).  If that owner is the rank running
+            # this very check, the pre-park re-probe in :meth:`block`
+            # catches the self-notify.
+            self.notify_rank_locked(pr.dest)
             return True
         return False
 
@@ -429,7 +513,7 @@ class World:
         if self.abort_exc is None:
             self.abort_exc = exc
             self.abort_origin = origin
-        self.cond.notify_all()
+        self.notify_all_locked()
 
     def crash_rank(self, rank: int, reason: str) -> None:
         """Kill one rank (fault injection): it leaves the live set, its
@@ -444,14 +528,23 @@ class World:
             self.tracer.record(rank, "fault", "fault_crash", 0, now, now)
             self.metrics.counter("smpi.faults.injected", kind="crash").inc()
             self._deadlock_check_locked()
-            self.cond.notify_all()
+            # Broadcast: any rank's crashed-peer failure probe or ft
+            # rendezvous readiness may have changed.  All crash state is
+            # mutated above, before the notify (the documented invariant).
+            self.notify_all_locked()
 
     def finish_rank(self, rank: int) -> None:
-        """Mark a rank's main function as returned."""
+        """Mark a rank's main function as returned.
+
+        Broadcasts (rank exit is world-scoped: shrink/agree readiness and
+        the deadlock census both depend on the live set) — and only after
+        the live-set mutation and detector pass, so a woken rank never
+        sees a half-updated world.
+        """
         with self.lock:
             self.live.discard(rank)
             self._deadlock_check_locked()
-            self.cond.notify_all()
+            self.notify_all_locked()
 
     # -- ULFM-style recovery ----------------------------------------------
 
@@ -467,10 +560,8 @@ class World:
                 return False
             self.revoked_cids.add(cid)
             for q in self.queues:
-                q.unexpected = [
-                    env for env in q.unexpected if env.comm_cid != cid
-                ]
-            self.cond.notify_all()
+                q.purge_cid(cid)
+            self.notify_all_locked()
             return True
 
     def ft_table(self, cid: int) -> FtTable:
@@ -492,7 +583,8 @@ class World:
                 [ctx.group[r] for r in sorted(ctx.contribs)]
             ).alpha
             ctx.finalize(alpha, self._register_group_locked)
-            self.cond.notify_all()
+            # Only the rendezvous participants can have been unblocked.
+            self.notify_ranks_locked(ctx.group)
         return True if ctx.done else None
 
     # -- point-to-point internals -----------------------------------------
@@ -509,8 +601,27 @@ class World:
         if pr is not None and env.rendezvous and env.completion_time is None:
             env.completion_time = max(env.send_time, pr.post_time) + env.net_time
             env.arrival_time = env.completion_time
-        self.cond.notify_all()
+        # Only the destination's wait (recv/irecv/probe) can have become
+        # satisfiable; the queue mutation above precedes the notify.
+        self.notify_rank_locked(env.dest)
         return pr
+
+    def publish_runtime_counters(self) -> None:
+        """Fold the raw fast-path counters into the metrics registry.
+
+        Wakeup and match accounting is kept as plain ints on the hot path
+        (a registry lookup per message would cost more than the matching
+        itself); :func:`launch` publishes them once, after the rank
+        threads join, as ``smpi.wakeups.*`` and ``smpi.match.*``.
+        """
+        for key, value in self.wakeup_stats.items():
+            self.metrics.counter(f"smpi.wakeups.{key}").inc(value)
+        totals: dict[str, int] = {}
+        for q in self.queues:
+            for key, value in q.stats.items():
+                totals[key] = totals.get(key, 0) + value
+        for key, value in totals.items():
+            self.metrics.counter(f"smpi.match.{key}").inc(value)
 
     def elapsed(self) -> float:
         """Virtual makespan: the maximum rank clock (the job's runtime)."""
@@ -611,6 +722,7 @@ def launch(
         t.start()
     for t in threads:
         t.join()
+    world.publish_runtime_counters()
     if world.sanitizer is not None:
         world.sanitizer.on_world_finish(world, results, world.abort_exc)
     if world.abort_exc is not None:

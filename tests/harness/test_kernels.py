@@ -1,0 +1,147 @@
+"""Backend parity for the vectorized module kernels.
+
+``repro.harness.kernels`` selects numpy or the pure-Python fallback at
+import time; the modules' numerics must not depend on which backend won.
+These tests run both implementations side by side (forcing the python
+path in a subprocess, since the selection is an import-time decision)
+and assert the results agree.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.harness import kernels
+
+
+def _python_backend(snippet: str) -> dict:
+    """Run ``snippet`` under REPRO_PURE_PYTHON_KERNELS=1 in a fresh
+    interpreter; the snippet must print one JSON object."""
+    env = dict(os.environ, REPRO_PURE_PYTHON_KERNELS="1")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), "src") if p
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", snippet],
+        capture_output=True, text=True, env=env,
+        cwd=os.path.join(os.path.dirname(__file__), "..", ".."),
+        check=True,
+    )
+    return json.loads(out.stdout)
+
+
+def test_numpy_backend_selected_by_default():
+    assert kernels.HAVE_NUMPY
+    assert kernels.KERNEL_BACKEND == "numpy"
+
+
+def test_pairwise_block_backends_agree():
+    rng = np.random.default_rng(7)
+    a, b = rng.normal(size=(5, 4)), rng.normal(size=(6, 4))
+    fast = kernels.pairwise_block(a, b)
+    got = _python_backend(
+        "import json, numpy as np\n"
+        "from repro.harness import kernels\n"
+        "assert kernels.KERNEL_BACKEND == 'python', kernels.KERNEL_BACKEND\n"
+        "rng = np.random.default_rng(7)\n"
+        "a, b = rng.normal(size=(5, 4)), rng.normal(size=(6, 4))\n"
+        "print(json.dumps(np.asarray(kernels.pairwise_block(a, b)).tolist()))\n"
+    )
+    np.testing.assert_allclose(np.asarray(got), fast, rtol=1e-10, atol=1e-12)
+
+
+def test_kmeans_kernels_backends_agree():
+    rng = np.random.default_rng(3)
+    pts, cen = rng.normal(size=(40, 3)), rng.normal(size=(5, 3))
+    labels = kernels.kmeans_assign(pts, cen)
+    sums, counts = kernels.kmeans_update(pts, labels, 5)
+    new = kernels.centroid_step(sums, counts, cen)
+    got = _python_backend(
+        "import json, numpy as np\n"
+        "from repro.harness import kernels\n"
+        "rng = np.random.default_rng(3)\n"
+        "pts, cen = rng.normal(size=(40, 3)), rng.normal(size=(5, 3))\n"
+        "labels = kernels.kmeans_assign(pts, cen)\n"
+        "sums, counts = kernels.kmeans_update(pts, labels, 5)\n"
+        "new = kernels.centroid_step(sums, counts, cen)\n"
+        "print(json.dumps({'labels': np.asarray(labels).tolist(),"
+        " 'sums': np.asarray(sums).tolist(),"
+        " 'counts': np.asarray(counts).tolist(),"
+        " 'new': np.asarray(new).tolist()}))\n"
+    )
+    np.testing.assert_array_equal(np.asarray(got["labels"]), labels)
+    np.testing.assert_allclose(np.asarray(got["sums"]), sums, rtol=1e-10)
+    np.testing.assert_allclose(np.asarray(got["counts"]), counts)
+    np.testing.assert_allclose(np.asarray(got["new"]), new, rtol=1e-10)
+
+
+def test_histogram_cuts_backends_agree():
+    rng = np.random.default_rng(11)
+    sample = rng.exponential(size=500)
+    fast = kernels.histogram_cuts(sample, p=8, bins=64)
+    got = _python_backend(
+        "import json, numpy as np\n"
+        "from repro.harness import kernels\n"
+        "rng = np.random.default_rng(11)\n"
+        "sample = rng.exponential(size=500)\n"
+        "print(json.dumps(np.asarray("
+        "kernels.histogram_cuts(sample, p=8, bins=64)).tolist()))\n"
+    )
+    np.testing.assert_allclose(np.asarray(got), fast, rtol=1e-9, atol=1e-12)
+
+
+def test_modules_route_through_kernels():
+    """The module entry points and the kernels produce identical numbers
+    (the delegation is real, and cost charging stayed in the modules)."""
+    from repro.modules.module2_distance import pairwise_distances
+    from repro.modules.module3_sort import histogram_splitters
+    from repro.modules.module5_kmeans import assign_points
+
+    rng = np.random.default_rng(5)
+    a = rng.normal(size=(6, 4))
+    np.testing.assert_array_equal(
+        pairwise_distances(a), kernels.pairwise_block(a, a)
+    )
+    cen = rng.normal(size=(3, 4))
+    np.testing.assert_array_equal(
+        assign_points(a, cen), kernels.kmeans_assign(a, cen)
+    )
+    sample = rng.exponential(size=200)
+    np.testing.assert_array_equal(
+        histogram_splitters(sample, p=4, bins=32),
+        kernels.histogram_cuts(sample, p=4, bins=32),
+    )
+
+
+@pytest.mark.parametrize("nprocs", [1, 4])
+def test_module_results_identical_across_backends(nprocs):
+    """End-to-end: a distributed k-means run reaches the same centroids
+    under either backend (virtual-time charging is backend-independent)."""
+    from repro import smpi
+    from repro.modules.module5_kmeans import kmeans_distributed
+
+    out = smpi.run(nprocs, kmeans_distributed, n=120, k=3, max_iter=5, seed=2)
+    fast = out[0]
+    got = _python_backend(
+        "import json\n"
+        "from repro import smpi\n"
+        "from repro.modules.module5_kmeans import kmeans_distributed\n"
+        f"out = smpi.run({nprocs}, kmeans_distributed, n=120, k=3, max_iter=5, seed=2)\n"
+        "r = out[0]\n"
+        "print(json.dumps({'centroids': r.centroids.tolist(),"
+        " 'inertia': r.inertia, 'iterations': r.iterations,"
+        " 'compute_time': r.compute_time, 'comm_time': r.comm_time}))\n"
+    )
+    np.testing.assert_allclose(
+        np.asarray(got["centroids"]), fast.centroids, rtol=1e-9
+    )
+    assert got["iterations"] == fast.iterations
+    assert got["inertia"] == pytest.approx(fast.inertia, rel=1e-9)
+    # The roofline charge is computed from analytic constants, not from
+    # the kernel implementation: virtual time must match exactly.
+    assert got["compute_time"] == pytest.approx(fast.compute_time, rel=1e-12)
+    assert got["comm_time"] == pytest.approx(fast.comm_time, rel=1e-12)
